@@ -1,0 +1,50 @@
+// Ablation (ours): the driving-switch benefit threshold. The paper relies
+// on window smoothing alone (threshold 1.0); this library defaults to a
+// mild 1.15x hysteresis. The sweep shows the cost of each extreme: too low
+// admits marginal (occasionally harmful) switches, too high forgoes wins.
+
+#include <cstdio>
+
+#include "bench/harness_util.h"
+
+using namespace ajr;
+using namespace ajr::bench;
+
+int main(int argc, char** argv) {
+  HarnessFlags flags = HarnessFlags::Parse(argc, argv);
+  if (flags.per_template == 60) flags.per_template = 12;
+  std::printf("== Ablation: driving-switch benefit threshold ==\n");
+  std::printf("DMV owners=%zu, %zu queries/template, c=10, w=1000\n\n", flags.owners,
+              flags.per_template);
+  Workbench bench(flags);
+  DmvQueryGenerator gen(&bench.catalog(), flags.seed);
+  auto queries = gen.GenerateMix(flags.per_template);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  double base_ms = 0;
+  for (const JoinQuery& q : *queries) {
+    base_ms += bench.Run(q, Workbench::NoSwitch()).wall_ms;
+  }
+
+  const double thresholds[] = {1.0, 1.05, 1.15, 1.3, 1.5, 2.0, 4.0};
+  std::printf("%10s %14s %18s\n", "threshold", "time_ratio", "driving_switches");
+  for (double th : thresholds) {
+    AdaptiveOptions options = Workbench::SwitchBoth();
+    options.switch_benefit_threshold = th;
+    double ms = 0;
+    uint64_t switches = 0;
+    for (const JoinQuery& q : *queries) {
+      QueryRun run = bench.Run(q, options);
+      ms += run.wall_ms;
+      switches += run.stats.driving_switches;
+    }
+    std::printf("%10.2f %13.1f%% %18.2f\n", th, 100.0 * ms / base_ms,
+                static_cast<double>(switches) / queries->size());
+  }
+  std::printf("\nExpected: a shallow optimum around 1.0-1.3; very high thresholds "
+              "converge to the\nno-switch baseline.\n");
+  return 0;
+}

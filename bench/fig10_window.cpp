@@ -1,0 +1,67 @@
+// Figure 10 (Sec 5.4): average number of join-order switches per query vs
+// the history window size w.
+//
+// Paper: dramatic fluctuation (many switches) for small windows without
+// performance benefit; stable behaviour once w >= 500.
+
+#include <cstdio>
+
+#include "bench/harness_util.h"
+
+using namespace ajr;
+using namespace ajr::bench;
+
+int main(int argc, char** argv) {
+  HarnessFlags flags = HarnessFlags::Parse(argc, argv);
+  if (flags.per_template == 60) flags.per_template = 12;  // lighter default here
+  std::printf("== Figure 10: order switches vs history window size ==\n");
+  std::printf("DMV owners=%zu, %zu queries/template, c=10\n\n", flags.owners,
+              flags.per_template);
+  Workbench bench(flags);
+  DmvQueryGenerator gen(&bench.catalog(), flags.seed);
+  auto queries = gen.GenerateMix(flags.per_template);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  // Baseline for the runtime ratio column.
+  double base_ms = 0;
+  for (const JoinQuery& q : *queries) {
+    base_ms += bench.Run(q, Workbench::NoSwitch()).wall_ms;
+  }
+
+  // Two configurations per window size: "strict" reproduces the paper's
+  // run-time exactly (fixed check interval, no reorder hysteresis) — the
+  // configuration whose small-window fluctuation Fig 10 reports — while
+  // "guarded" is this library's default (hysteresis + check back-off).
+  const size_t windows[] = {10, 25, 50, 100, 200, 400, 500, 800, 1000, 1200};
+  std::printf("%10s %22s %14s %22s %14s\n", "window w", "strict avg_switches",
+              "time_ratio", "guarded avg_switches", "time_ratio");
+  for (size_t w : windows) {
+    AdaptiveOptions strict = Workbench::PaperStrict();
+    strict.history_window = w;
+    AdaptiveOptions guarded = Workbench::SwitchBoth();
+    guarded.history_window = w;
+    uint64_t strict_switches = 0, guarded_switches = 0;
+    double strict_ms = 0, guarded_ms = 0;
+    for (const JoinQuery& q : *queries) {
+      QueryRun srun = bench.Run(q, strict);
+      strict_switches += srun.stats.order_switches();
+      strict_ms += srun.wall_ms;
+      QueryRun grun = bench.Run(q, guarded);
+      guarded_switches += grun.stats.order_switches();
+      guarded_ms += grun.wall_ms;
+    }
+    std::printf("%10zu %22.2f %13.1f%% %22.2f %13.1f%%\n", w,
+                static_cast<double>(strict_switches) / queries->size(),
+                100.0 * strict_ms / base_ms,
+                static_cast<double>(guarded_switches) / queries->size(),
+                100.0 * guarded_ms / base_ms);
+  }
+  std::printf("\nPaper's Fig 10: many switches (fluctuation) at small w, "
+              "stable (and beneficial)\nbehaviour once w >= 500. The strict "
+              "columns reproduce that run-time; the guarded\ncolumns show "
+              "this library's default damping.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8 (Sec 5.2): reordering only inner legs — normalized elapsed time
+// per template (inner-only as a percent of no-reordering).
+//
+// Paper: 10-20% improvement for the queries whose join order was changed.
+
+#include <cstdio>
+
+#include "bench/harness_util.h"
+
+using namespace ajr;
+using namespace ajr::bench;
+
+int main(int argc, char** argv) {
+  HarnessFlags flags = HarnessFlags::Parse(argc, argv);
+  std::printf("== Figure 8: reordering only inner legs ==\n");
+  std::printf("DMV owners=%zu, %zu queries/template\n\n", flags.owners,
+              flags.per_template);
+  Workbench bench(flags);
+  DmvQueryGenerator gen(&bench.catalog(), flags.seed);
+
+  std::printf("%-9s %12s %12s %9s %9s %9s %13s\n", "template", "noswitch_ms",
+              "inner_ms", "ratio", "wu_ratio", "changed", "ratio_changed");
+  for (int t = 1; t <= kNumFourTableTemplates; ++t) {
+    double base_ms = 0, inner_ms = 0;
+    double base_wu = 0, inner_wu = 0;
+    double base_changed = 0, inner_changed = 0;
+    size_t changed = 0;
+    for (size_t v = 0; v < flags.per_template; ++v) {
+      auto q = gen.Generate(t, v);
+      if (!q.ok()) {
+        std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+        return 1;
+      }
+      auto [base, inner] = bench.RunPair(*q, Workbench::NoSwitch(), Workbench::InnerOnly());
+      base_ms += base.wall_ms;
+      inner_ms += inner.wall_ms;
+      base_wu += static_cast<double>(base.work_units);
+      inner_wu += static_cast<double>(inner.work_units);
+      if (inner.stats.inner_reorders > 0) {
+        ++changed;
+        base_changed += base.wall_ms;
+        inner_changed += inner.wall_ms;
+      }
+    }
+    std::printf("T%-8d %12.2f %12.2f %8.1f%% %8.1f%% %9zu %12.1f%%\n", t, base_ms,
+                inner_ms, 100.0 * inner_ms / base_ms, 100.0 * inner_wu / base_wu,
+                changed, base_changed > 0 ? 100.0 * inner_changed / base_changed : 100.0);
+  }
+  std::printf("\nPaper's Fig 8: normalized time below 100%% for every template; "
+              "10-20%% improvement\non queries whose inner order changed.\n");
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "bench/harness_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ajr {
+namespace bench {
+
+HarnessFlags HarnessFlags::Parse(int argc, char** argv) {
+  HarnessFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value("--owners=")) {
+      flags.owners = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--per-template=")) {
+      flags.per_template = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--reps=")) {
+      flags.reps = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--seed=")) {
+      flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--stats=minimal") == 0) {
+      flags.stats_tier = StatsTier::kMinimal;
+    } else if (std::strcmp(arg, "--stats=base") == 0) {
+      flags.stats_tier = StatsTier::kBase;
+    } else if (std::strcmp(arg, "--stats=rich") == 0) {
+      flags.stats_tier = StatsTier::kRich;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+Workbench::Workbench(const HarnessFlags& flags) : flags_(flags) {
+  DmvConfig config;
+  config.num_owners = flags.owners;
+  config.seed = flags.seed;
+  config.rich_stats = flags.stats_tier == StatsTier::kRich;
+  auto cards = GenerateDmv(&catalog_, config);
+  if (!cards.ok()) {
+    std::fprintf(stderr, "DMV generation failed: %s\n",
+                 cards.status().ToString().c_str());
+    std::exit(1);
+  }
+  cards_ = *cards;
+  PlannerOptions popts;
+  popts.stats_tier = flags.stats_tier;
+  planner_ = std::make_unique<Planner>(&catalog_, popts);
+}
+
+namespace {
+
+// One timed execution; aborts the harness on failure.
+ExecStats ExecuteOnce(const PipelinePlan& plan, const AdaptiveOptions& options,
+                      const std::string& name) {
+  PipelineExecutor exec(&plan, options);
+  auto stats = exec.Execute(nullptr);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "executing %s failed: %s\n", name.c_str(),
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *stats;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+QueryRun Workbench::Run(const JoinQuery& query, const AdaptiveOptions& options) const {
+  QueryRun run;
+  run.name = query.name;
+  auto plan = planner_->Plan(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning %s failed: %s\n", query.name.c_str(),
+                 plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<double> times;
+  for (size_t rep = 0; rep < std::max<size_t>(flags_.reps, 1); ++rep) {
+    run.stats = ExecuteOnce(**plan, options, query.name);
+    times.push_back(run.stats.wall_seconds * 1000.0);
+  }
+  run.wall_ms = Median(times);
+  run.work_units = run.stats.work_units;
+  run.rows_out = run.stats.rows_out;
+  return run;
+}
+
+std::pair<QueryRun, QueryRun> Workbench::RunPair(const JoinQuery& query,
+                                                 const AdaptiveOptions& options_a,
+                                                 const AdaptiveOptions& options_b) const {
+  QueryRun a, b;
+  a.name = query.name;
+  b.name = query.name;
+  auto plan = planner_->Plan(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning %s failed: %s\n", query.name.c_str(),
+                 plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  // Untimed warm-up touches the relevant data once for both sides.
+  ExecuteOnce(**plan, options_a, query.name);
+  std::vector<double> times_a, times_b;
+  for (size_t rep = 0; rep < std::max<size_t>(flags_.reps, 1); ++rep) {
+    a.stats = ExecuteOnce(**plan, options_a, query.name);
+    times_a.push_back(a.stats.wall_seconds * 1000.0);
+    b.stats = ExecuteOnce(**plan, options_b, query.name);
+    times_b.push_back(b.stats.wall_seconds * 1000.0);
+  }
+  a.wall_ms = Median(times_a);
+  b.wall_ms = Median(times_b);
+  a.work_units = a.stats.work_units;
+  b.work_units = b.stats.work_units;
+  a.rows_out = a.stats.rows_out;
+  b.rows_out = b.stats.rows_out;
+  return {a, b};
+}
+
+AdaptiveOptions Workbench::NoSwitch() {
+  AdaptiveOptions o;
+  o.reorder_inners = false;
+  o.reorder_driving = false;
+  return o;
+}
+
+AdaptiveOptions Workbench::SwitchBoth() {
+  AdaptiveOptions o;  // defaults are the paper's: c = 10, w = 1000
+  return o;
+}
+
+AdaptiveOptions Workbench::InnerOnly() {
+  AdaptiveOptions o;
+  o.reorder_driving = false;
+  return o;
+}
+
+AdaptiveOptions Workbench::DrivingOnly() {
+  AdaptiveOptions o;
+  o.reorder_inners = false;
+  return o;
+}
+
+AdaptiveOptions Workbench::PaperStrict() {
+  AdaptiveOptions o;
+  o.check_backoff = false;
+  o.inner_benefit_epsilon = 0.0;
+  o.switch_benefit_threshold = 1.0;
+  o.min_edge_pairs = 1.0;
+  o.min_leg_samples = 4;
+  return o;
+}
+
+void ScatterSummary::Add(const QueryRun& base, const QueryRun& adaptive) {
+  ++queries;
+  total_base_ms += base.wall_ms;
+  total_adaptive_ms += adaptive.wall_ms;
+  total_base_wu += static_cast<double>(base.work_units);
+  total_adaptive_wu += static_cast<double>(adaptive.work_units);
+  bool did_change = adaptive.stats.order_switches() > 0;
+  if (did_change) {
+    ++changed;
+    total_base_changed_ms += base.wall_ms;
+    total_adaptive_changed_ms += adaptive.wall_ms;
+  }
+  if (adaptive.wall_ms < base.wall_ms) ++improved;
+  if (adaptive.wall_ms > base.wall_ms * 1.05) ++degraded;
+  if (adaptive.wall_ms > 0) {
+    max_speedup = std::max(max_speedup, base.wall_ms / adaptive.wall_ms);
+  }
+  if (adaptive.work_units > 0) {
+    max_wu_speedup =
+        std::max(max_wu_speedup, static_cast<double>(base.work_units) /
+                                     static_cast<double>(adaptive.work_units));
+  }
+}
+
+void ScatterSummary::Print(const char* base_label, const char* adaptive_label) const {
+  std::printf("\nSummary (%zu queries; baseline=%s, adaptive=%s)\n", queries,
+              base_label, adaptive_label);
+  std::printf("  queries with order changes : %zu\n", changed);
+  std::printf("  improved                   : %zu\n", improved);
+  std::printf("  degraded >5%%               : %zu\n", degraded);
+  std::printf("  max speedup                : %.2fx wall, %.2fx work units\n",
+              max_speedup, max_wu_speedup);
+  if (total_base_ms > 0) {
+    std::printf("  total elapsed improvement  : %.1f%%  (%.1f ms -> %.1f ms)\n",
+                100.0 * (1.0 - total_adaptive_ms / total_base_ms), total_base_ms,
+                total_adaptive_ms);
+  }
+  if (total_base_changed_ms > 0) {
+    std::printf(
+        "  improvement (changed only) : %.1f%%  (%.1f ms -> %.1f ms)\n",
+        100.0 * (1.0 - total_adaptive_changed_ms / total_base_changed_ms),
+        total_base_changed_ms, total_adaptive_changed_ms);
+  }
+  if (total_base_wu > 0) {
+    std::printf("  work-unit improvement      : %.1f%%  (deterministic)\n",
+                100.0 * (1.0 - total_adaptive_wu / total_base_wu));
+  }
+}
+
+}  // namespace bench
+}  // namespace ajr

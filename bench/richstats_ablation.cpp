@@ -1,0 +1,43 @@
+// Sec 5.3 (result described but not plotted): with sophisticated statistics
+// collected (distributions + frequent values), adaptive reordering still
+// helps — the paper reports up to two-fold speedups.
+//
+// The residual estimation error with rich stats is multi-column correlation
+// (make->model, country->city, tier->salary), which no single-column
+// statistic captures.
+
+#include <cstdio>
+
+#include "bench/harness_util.h"
+
+using namespace ajr;
+using namespace ajr::bench;
+
+int main(int argc, char** argv) {
+  HarnessFlags flags = HarnessFlags::Parse(argc, argv);
+  flags.stats_tier = StatsTier::kRich;
+  if (flags.per_template == 60) flags.per_template = 20;
+  std::printf("== Sec 5.3 ablation: adaptive reordering with rich statistics ==\n");
+  std::printf("DMV owners=%zu, %zu queries/template, optimizer uses frequent "
+              "values + equi-depth histograms\n\n",
+              flags.owners, flags.per_template);
+  Workbench bench(flags);
+  DmvQueryGenerator gen(&bench.catalog(), flags.seed);
+  auto queries = gen.GenerateMix(flags.per_template);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  ScatterSummary summary;
+  for (const JoinQuery& q : *queries) {
+    auto [base, adaptive] =
+        bench.RunPair(q, Workbench::NoSwitch(), Workbench::SwitchBoth());
+    summary.Add(base, adaptive);
+  }
+  summary.Print("NO SWITCH (rich stats)", "SWITCH BOTH (rich stats)");
+  std::printf("\nPaper: even with sophisticated statistics collected, reordering "
+              "yields up to 2x\nspeedups (correlations remain invisible to "
+              "single-column statistics).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Example 1 from the paper, end to end: accidents involving Chevrolets and
+// Mercedes in Germany.
+//
+//   SELECT o.name, a.driver FROM Owner o, Car c, Demographics d, Accidents a
+//   WHERE c.ownerid = o.id AND o.id = d.ownerid AND c.id = a.carid
+//     AND (c.make = 'Chevrolet' OR c.make = 'Mercedes')
+//     AND o.country1 = 'Germany' AND d.salary < 50000;
+//
+// The paper's point: while scanning Chevrolets, the Owner predicate filters
+// best; while scanning Mercedes (luxury cars, wealthy owners), the
+// Demographics salary predicate filters best — no static order is right for
+// the whole scan. This example runs the query on the synthetic DMV data set
+// with and without adaptation and prints the adaptation event log.
+//
+//   $ ./build/examples/accident_analysis [owners]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/pipeline_executor.h"
+#include "optimize/planner.h"
+#include "workload/dmv.h"
+#include "workload/templates.h"
+
+using namespace ajr;
+
+int main(int argc, char** argv) {
+  DmvConfig config;
+  config.num_owners = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+  std::printf("Generating DMV data set (%zu owners)...\n", config.num_owners);
+  Catalog catalog;
+  auto cards = GenerateDmv(&catalog, config);
+  if (!cards.ok()) {
+    std::fprintf(stderr, "%s\n", cards.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  owner=%zu car=%zu demographics=%zu accidents=%zu\n\n", cards->owner,
+              cards->car, cards->demographics, cards->accidents);
+
+  JoinQuery query = DmvQueryGenerator::Example1();
+  std::printf("%s\n\n", query.ToString().c_str());
+
+  // The paper's baseline: the optimizer knows table sizes only.
+  Planner planner(&catalog, PlannerOptions{StatsTier::kMinimal});
+  auto plan = planner.Plan(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  auto run = [&](const char* label, AdaptiveOptions options) {
+    PipelineExecutor exec(plan->get(), options);
+    auto stats = exec.Execute(nullptr);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("%-10s: %8.2f ms  %9lu work units  %5lu rows  order", label,
+                stats->wall_seconds * 1e3, static_cast<unsigned long>(stats->work_units),
+                static_cast<unsigned long>(stats->rows_out));
+    for (size_t t : stats->final_order) {
+      std::printf(" %s", plan->get()->query.tables[t].alias.c_str());
+    }
+    std::printf("\n");
+    for (const auto& event : stats->events) {
+      std::printf("    %s\n", event.c_str());
+    }
+    return stats->work_units;
+  };
+
+  AdaptiveOptions off;
+  off.reorder_inners = false;
+  off.reorder_driving = false;
+  uint64_t base = run("static", off);
+  uint64_t adaptive = run("adaptive", AdaptiveOptions{});
+  if (adaptive < base) {
+    std::printf("\nAdaptive reordering did %.1f%% less work than the static plan.\n",
+                100.0 * (1.0 - static_cast<double>(adaptive) / base));
+  } else {
+    std::printf("\nNo improvement on this instance (static plan was already good).\n");
+  }
+  return 0;
+}

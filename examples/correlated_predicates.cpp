@@ -1,0 +1,113 @@
+// Example 2 from the paper: correlated predicates break the independence
+// assumption, and run-time monitoring fixes the estimate.
+//
+//   SELECT o.Name, c.Year FROM OWNER o, CAR c
+//   WHERE c.OwnerID = o.ID AND c.Make = 'Mazda' AND c.Model = '323'
+//     AND o.Country3 = 'EG' AND o.City = 'Cairo';
+//
+// '323' is only built by Mazda, and Cairo is only in Egypt, so the actual
+// combined selectivities equal the single-column ones — the optimizer's
+// product rule underestimates by an order of magnitude (the paper reports
+// ~13x for its DMV instance). This example prints estimate-vs-actual for
+// each statistics tier and then shows the adaptive executor correcting the
+// resulting plan at run-time.
+//
+//   $ ./build/examples/correlated_predicates [owners]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/pipeline_executor.h"
+#include "expr/evaluator.h"
+#include "optimize/planner.h"
+#include "workload/dmv.h"
+#include "workload/templates.h"
+
+using namespace ajr;
+
+namespace {
+
+// Actual fraction of rows of `entry` satisfying `predicate`.
+double ActualSelectivity(const TableEntry& entry, const ExprPtr& predicate) {
+  auto bound = BindPredicate(predicate, entry.schema());
+  if (!bound.ok()) return 0;
+  size_t hits = 0;
+  for (Rid r = 0; r < entry.table().num_rows(); ++r) {
+    if ((*bound)->Eval(entry.table().Get(r))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(entry.table().num_rows());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DmvConfig config;
+  config.num_owners = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+  config.rich_stats = true;  // so the kRich tier has something to consult
+  Catalog catalog;
+  auto cards = GenerateDmv(&catalog, config);
+  if (!cards.ok()) {
+    std::fprintf(stderr, "%s\n", cards.status().ToString().c_str());
+    return 1;
+  }
+
+  JoinQuery query = DmvQueryGenerator::Example2();
+  std::printf("%s\n\n", query.ToString().c_str());
+
+  const TableEntry& car = **catalog.GetTable("car");
+  const TableEntry& owner = **catalog.GetTable("owner");
+
+  std::printf("%-34s %10s %10s %10s %10s\n", "predicate", "minimal", "base", "rich",
+              "actual");
+  struct Case {
+    const char* label;
+    const TableEntry* table;
+    ExprPtr predicate;
+  };
+  const Case cases[] = {
+      {"c.make='Mazda' AND c.model='323'", &car, query.local_predicates[1]},
+      {"o.country3='EG' AND o.city='Cairo'", &owner, query.local_predicates[0]},
+  };
+  for (const auto& c : cases) {
+    double actual = ActualSelectivity(*c.table, c.predicate);
+    std::printf("%-34s %9.4f%% %9.4f%% %9.4f%% %9.4f%%\n", c.label,
+                100 * SelectivityEstimator(StatsTier::kMinimal)
+                          .EstimateLocal(*c.table, c.predicate),
+                100 * SelectivityEstimator(StatsTier::kBase)
+                          .EstimateLocal(*c.table, c.predicate),
+                100 * SelectivityEstimator(StatsTier::kRich)
+                          .EstimateLocal(*c.table, c.predicate),
+                100 * actual);
+  }
+  std::printf("\nEvery tier multiplies the conjunct selectivities "
+              "(independence), so all of them\nunderestimate the correlated "
+              "pairs; only the run-time monitors see the truth.\n\n");
+
+  // Show the executor discovering the correct selectivities.
+  Planner planner(&catalog, PlannerOptions{StatsTier::kMinimal});
+  auto plan = planner.Plan(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  for (bool adaptive : {false, true}) {
+    AdaptiveOptions options;
+    options.reorder_inners = adaptive;
+    options.reorder_driving = adaptive;
+    PipelineExecutor exec(plan->get(), options);
+    auto stats = exec.Execute(nullptr);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8s: %8.2f ms, %8lu work units, %4lu rows, %lu adaptive moves\n",
+                adaptive ? "adaptive" : "static", stats->wall_seconds * 1e3,
+                static_cast<unsigned long>(stats->work_units),
+                static_cast<unsigned long>(stats->rows_out),
+                static_cast<unsigned long>(stats->order_switches()));
+    for (const auto& event : stats->events) {
+      std::printf("    %s\n", event.c_str());
+    }
+  }
+  return 0;
+}

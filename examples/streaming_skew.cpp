@@ -1,0 +1,102 @@
+// Mid-scan adaptation under value-dependent skew (the "moment of symmetry"
+// demo): a driving index scan whose optimal inner order CHANGES PARTWAY
+// through the scan.
+//
+// We build a two-segment table: rows with grp = 'A' join heavily with T1
+// and barely with T2; rows with grp = 'B' do the opposite. A static plan
+// must pick one inner order for the whole scan; the adaptive executor
+// reorders at a depleted state when the scan crosses from the A-segment to
+// the B-segment — the paper's extension of Eddies' moments of symmetry to
+// indexed nested-loop joins (Sec 4.1).
+//
+//   $ ./build/examples/streaming_skew
+
+#include <cstdio>
+
+#include "exec/pipeline_executor.h"
+#include "optimize/planner.h"
+
+using namespace ajr;
+
+namespace {
+
+Status Run() {
+  Catalog catalog;
+  AJR_ASSIGN_OR_RETURN(TableEntry * facts,
+                       catalog.CreateTable("facts", Schema({{"id", DataType::kInt64},
+                                                            {"grp", DataType::kString},
+                                                            {"k1", DataType::kInt64},
+                                                            {"k2", DataType::kInt64}})));
+  AJR_ASSIGN_OR_RETURN(TableEntry * dim1,
+                       catalog.CreateTable("dim1", Schema({{"k", DataType::kInt64}})));
+  AJR_ASSIGN_OR_RETURN(TableEntry * dim2,
+                       catalog.CreateTable("dim2", Schema({{"k", DataType::kInt64}})));
+
+  // Each dim holds keys 0..19999 once (large, so the planner drives facts).
+  for (int i = 0; i < 20000; ++i) {
+    AJR_RETURN_IF_ERROR(dim1->table().Append({Value(i)}).status());
+    AJR_RETURN_IF_ERROR(dim2->table().Append({Value(i)}).status());
+  }
+  // Segment A (ids 0..4999): k1 always hits dim1; k2 misses dim2 except for
+  // every 10th row (k2 = 90000+i otherwise). Segment B flips the roles.
+  // The selective join therefore changes sides exactly at id 5000.
+  for (int i = 0; i < 10000; ++i) {
+    bool segment_a = i < 5000;
+    int64_t hit = i % 1000;
+    int64_t mostly_miss = i % 10 == 0 ? i % 1000 : 90000 + i;
+    AJR_RETURN_IF_ERROR(facts->table()
+                            .Append({Value(i), Value(segment_a ? "A" : "B"),
+                                     Value(segment_a ? hit : mostly_miss),
+                                     Value(segment_a ? mostly_miss : hit)})
+                            .status());
+  }
+  AJR_RETURN_IF_ERROR(catalog.BuildIndex("facts", "id", "facts_id"));
+  AJR_RETURN_IF_ERROR(catalog.BuildIndex("facts", "k1", "facts_k1"));
+  AJR_RETURN_IF_ERROR(catalog.BuildIndex("facts", "k2", "facts_k2"));
+  AJR_RETURN_IF_ERROR(catalog.BuildIndex("dim1", "k", "dim1_k"));
+  AJR_RETURN_IF_ERROR(catalog.BuildIndex("dim2", "k", "dim2_k"));
+  AJR_RETURN_IF_ERROR(catalog.AnalyzeAll());
+
+  // SELECT f.id FROM facts f, dim1 x, dim2 y
+  // WHERE f.k1 = x.k AND f.k2 = y.k AND f.id >= 0   (drives facts in order)
+  JoinQuery query;
+  query.name = "streaming_skew";
+  query.tables = {{"f", "facts"}, {"x", "dim1"}, {"y", "dim2"}};
+  query.edges = {{0, "k1", 1, "k", 0}, {0, "k2", 2, "k", 1}};
+  query.local_predicates = {ColCmp("id", CompareOp::kGe, Value(int64_t{0})), nullptr,
+                            nullptr};
+  query.output = {{0, "id"}};
+
+  Planner planner(&catalog);
+  AJR_ASSIGN_OR_RETURN(auto plan, planner.Plan(query));
+
+  for (bool adaptive : {false, true}) {
+    AdaptiveOptions options;
+    options.reorder_inners = adaptive;
+    options.reorder_driving = false;  // isolate the inner-reorder effect
+    PipelineExecutor exec(plan.get(), options);
+    AJR_ASSIGN_OR_RETURN(ExecStats stats, exec.Execute(nullptr));
+    std::printf("%-8s: %8lu work units, %lu rows, %lu inner reorders\n",
+                adaptive ? "adaptive" : "static",
+                static_cast<unsigned long>(stats.work_units),
+                static_cast<unsigned long>(stats.rows_out),
+                static_cast<unsigned long>(stats.inner_reorders));
+    for (const auto& event : stats.events) {
+      std::printf("    %s\n", event.c_str());
+    }
+  }
+  std::printf("\nThe reorder events should cluster around driving row ~5000, where\n"
+              "the scan crosses from the A-segment into the B-segment.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "adaptive/controller.h"
+
+#include <cassert>
+#include <limits>
+
+namespace ajr {
+
+namespace {
+
+// Per-incoming-row cost of probing `tail` in order, given `prefix_mask`
+// (Eq 1 restricted to the segment, flow seeded at 1).
+double TailCost(const CostInputs& in, const std::vector<size_t>& tail,
+                uint64_t prefix_mask) {
+  double cost = 0;
+  double flow = 1.0;
+  uint64_t mask = prefix_mask;
+  for (size_t t : tail) {
+    cost += flow * PcAt(in, t, mask);
+    flow *= JcAt(in, t, mask);
+    mask |= uint64_t{1} << t;
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::optional<std::vector<size_t>> CheckInnerReorder(const CostInputs& in,
+                                                     const std::vector<size_t>& order,
+                                                     size_t from,
+                                                     double benefit_epsilon) {
+  assert(from >= 1 && from <= order.size());
+  if (from + 1 >= order.size()) return std::nullopt;  // nothing to permute
+  uint64_t mask = 0;
+  for (size_t i = 0; i < from; ++i) mask |= uint64_t{1} << order[i];
+  std::vector<size_t> tail(order.begin() + from, order.end());
+  std::vector<size_t> ideal = GreedyRankOrder(in, tail, mask);
+  if (ideal == tail) return std::nullopt;
+  if (benefit_epsilon > 0 &&
+      TailCost(in, ideal, mask) > (1.0 - benefit_epsilon) * TailCost(in, tail, mask)) {
+    return std::nullopt;  // near-lateral move: not worth disturbing the pipeline
+  }
+  return ideal;
+}
+
+std::optional<DrivingSwitchDecision> CheckDrivingSwitch(
+    const CostInputs& in, const std::vector<size_t>& order,
+    const std::vector<DrivingCandidate>& candidates,
+    const AdaptiveOptions& options) {
+  assert(!order.empty());
+  assert(candidates.size() == in.tables.size());
+  const size_t current = order[0];
+
+  // Remaining cost of the current plan with its current inner order.
+  double current_cost = PipelineCost(in, order, candidates[current].raw_entries,
+                                     candidates[current].flow);
+
+  double best_cost = current_cost;
+  std::vector<size_t> best_order;
+  for (size_t d = 0; d < in.tables.size(); ++d) {
+    if (d == current) continue;
+    std::vector<size_t> inners;
+    for (size_t t = 0; t < in.tables.size(); ++t) {
+      if (t != d) inners.push_back(t);
+    }
+    std::vector<size_t> cand_order = {d};
+    auto rest = GreedyRankOrder(in, inners, uint64_t{1} << d);
+    cand_order.insert(cand_order.end(), rest.begin(), rest.end());
+    double cost =
+        PipelineCost(in, cand_order, candidates[d].raw_entries, candidates[d].flow);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_order = std::move(cand_order);
+    }
+  }
+  if (best_order.empty()) return std::nullopt;
+  if (current_cost < best_cost * options.switch_benefit_threshold) {
+    return std::nullopt;  // not enough benefit to risk thrashing
+  }
+  DrivingSwitchDecision decision;
+  decision.new_order = std::move(best_order);
+  decision.est_current = current_cost;
+  decision.est_best = best_cost;
+  return decision;
+}
+
+}  // namespace ajr

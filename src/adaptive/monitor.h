@@ -1,0 +1,196 @@
+// Run-time monitors (Sec 4.3).
+//
+// Every leg and every join edge carries counters over a sliding "history
+// window" of the latest w observations (Sec 4.3.5). From them the run-time
+// derives the quantities the cost model needs:
+//
+//   S_JP (Eq 7/8)   — per-edge join-predicate selectivity
+//   S_LPR (Eq 6)    — combined residual local selectivity
+//   JC (Eq 11)      — join cardinality = outgoing / incoming
+//   PC              — measured work units per incoming row
+//
+// Averaging is either the simple window mean or an exponentially weighted
+// mean (the paper's "simple average or weighted average", Sec 4.3.5).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ajr {
+
+/// How window observations are combined into an estimate.
+enum class AveragingMode : uint8_t {
+  kSimple,    ///< plain mean over the window
+  kWeighted,  ///< exponentially weighted toward recent observations
+};
+
+/// A sliding window over (numerator, denominator) observations whose
+/// estimate is sum(num)/sum(den) — simple mode — or the EWMA of per-record
+/// ratios weighted by denominators — weighted mode.
+///
+/// Record() sits on the executor's per-row hot path, so observations are
+/// batched: `batch` consecutive Record() calls are accumulated into plain
+/// sums and flushed into the ring as ONE stored observation. The window
+/// then holds ceil(capacity / batch) stored observations, spanning the same
+/// `capacity` raw observations the paper's "history window w" describes.
+class RatioWindow {
+ public:
+  explicit RatioWindow(size_t capacity = 1000,
+                       AveragingMode mode = AveragingMode::kSimple)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        mode_(mode),
+        batch_(capacity_ <= 32 ? 1 : capacity_ / 32) {}
+
+  /// Adds one observation (e.g. numerator = rows out, denominator = rows in).
+  void Record(double numerator, double denominator) {
+    pending_num_ += numerator;
+    pending_den_ += denominator;
+    if (++pending_count_ >= batch_) Flush();
+  }
+
+  /// Number of raw observations currently represented in the window
+  /// (stored observations times batch, plus the pending partial batch).
+  size_t count() const { return count_ * batch_ + pending_count_; }
+
+  /// Total denominator mass in the window (e.g. rows observed).
+  double denominator_sum() const { return den_sum_ + pending_den_; }
+
+  /// Current estimate; `fallback` when no observation carries mass yet.
+  double Estimate(double fallback) const;
+
+  void Reset();
+
+ private:
+  struct Observation {
+    double num;
+    double den;
+  };
+
+  void Flush();
+
+  size_t capacity_;
+  AveragingMode mode_;
+  size_t batch_;
+  double pending_num_ = 0;
+  double pending_den_ = 0;
+  size_t pending_count_ = 0;
+  // Fixed-size ring buffer of flushed batches: no allocation churn once the
+  // buffer reaches capacity.
+  std::vector<Observation> ring_;
+  size_t head_ = 0;  ///< index of the oldest stored observation
+  size_t count_ = 0; ///< stored observations
+  double num_sum_ = 0;
+  double den_sum_ = 0;
+};
+
+/// Per-leg monitor for the inner role: one Record* call per incoming row.
+class LegMonitor {
+ public:
+  LegMonitor() : LegMonitor(1000, AveragingMode::kSimple) {}
+  LegMonitor(size_t window, AveragingMode mode)
+      : jc_(window, mode), s_lp_(window, mode), pc_(window, mode) {}
+
+  /// Records the outcome of probing this leg for one incoming row:
+  /// `after_edges` rows survived all join predicates, `out` also survived
+  /// local + positional predicates, costing `work` units.
+  void RecordIncomingRow(double after_edges, double out, double work) {
+    jc_.Record(out, 1.0);
+    s_lp_.Record(out, after_edges);
+    pc_.Record(work, 1.0);
+    ++incoming_total_;
+  }
+
+  /// JC estimate (Eq 11); `fallback` until data arrives.
+  double Jc(double fallback) const { return jc_.Estimate(fallback); }
+  /// Combined local-predicate selectivity (Eq 6 analogue), Laplace-smoothed
+  /// toward `fallback` with kPseudoSamples virtual rows: a 2%-selective
+  /// predicate observed over 30 rows reads 0 more often than not, and a
+  /// hard zero makes whole candidate plans look free.
+  double LocalSel(double fallback) const {
+    constexpr double kPseudoSamples = 8.0;
+    double den = s_lp_.denominator_sum();
+    double num = s_lp_.Estimate(fallback) * den;
+    return (num + fallback * kPseudoSamples) / (den + kPseudoSamples);
+  }
+  /// Measured probe cost per incoming row.
+  double Pc(double fallback) const { return pc_.Estimate(fallback); }
+
+  bool has_data() const { return incoming_total_ > 0; }
+  uint64_t incoming_total() const { return incoming_total_; }
+
+  void Reset() {
+    jc_.Reset();
+    s_lp_.Reset();
+    pc_.Reset();
+    incoming_total_ = 0;
+  }
+
+ private:
+  RatioWindow jc_;
+  RatioWindow s_lp_;
+  RatioWindow pc_;
+  uint64_t incoming_total_ = 0;
+};
+
+/// Per-leg monitor for the driving role: residual selectivity of the scan.
+class DrivingMonitor {
+ public:
+  DrivingMonitor() : DrivingMonitor(1000, AveragingMode::kSimple) {}
+  DrivingMonitor(size_t window, AveragingMode mode) : s_lpr_(window, mode) {}
+
+  /// One scanned entry, which did or did not survive residual predicates.
+  void RecordScannedEntry(bool produced) {
+    s_lpr_.Record(produced ? 1.0 : 0.0, 1.0);
+    ++scanned_total_;
+    produced_total_ += produced ? 1 : 0;
+  }
+
+  /// S_LPR (Eq 6 for the driving leg): produced / scanned.
+  double ResidualSel(double fallback) const { return s_lpr_.Estimate(fallback); }
+
+  uint64_t scanned_total() const { return scanned_total_; }
+  uint64_t produced_total() const { return produced_total_; }
+
+ private:
+  RatioWindow s_lpr_;
+  uint64_t scanned_total_ = 0;
+  uint64_t produced_total_ = 0;
+};
+
+/// Per-edge monitor: S_JP as matching pairs over candidate pairs (Eq 7/8).
+class EdgeMonitor {
+ public:
+  EdgeMonitor() : EdgeMonitor(1000, AveragingMode::kSimple) {}
+  EdgeMonitor(size_t window, AveragingMode mode) : sel_(window, mode) {}
+
+  /// For a probe through this edge: `pairs` = incoming rows * C(T)
+  /// (Eq 7's I1 * C(T)); `matches` = entries fetched. For a residual check:
+  /// pairs = rows checked, matches = rows passing (Eq 8).
+  void Record(double pairs, double matches) {
+    sel_.Record(matches, pairs);
+    ++probes_;
+  }
+
+  /// S_JP estimate; `fallback` (the optimizer's estimate) until enough
+  /// observations accumulated. Laplace-smoothed with two pseudo-probes at
+  /// the fallback rate: one zero-match probe must not read as an exact-zero
+  /// join selectivity (which would make downstream legs look free).
+  double Selectivity(double fallback, double min_pairs = 1.0) const {
+    double den = sel_.denominator_sum();
+    if (den < min_pairs) return fallback;
+    double num = sel_.Estimate(fallback) * den;
+    double pseudo_den = 2.0 * den / static_cast<double>(probes_ == 0 ? 1 : probes_);
+    return (num + fallback * pseudo_den) / (den + pseudo_den);
+  }
+
+  bool has_data() const { return sel_.denominator_sum() > 0; }
+
+ private:
+  RatioWindow sel_;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace ajr

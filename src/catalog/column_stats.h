@@ -1,0 +1,54 @@
+// Column statistics, in two tiers mirroring Sec 5 of the paper:
+//
+//  * base stats — cardinality, min/max, number of distinct values. These are
+//    the "simple and reliable statistics" (Sec 1) the static optimizer uses
+//    with uniformity + independence assumptions.
+//  * rich stats — top-k frequent values and an equi-depth histogram, the
+//    "more sophisticated statistics, such as data distributions and frequent
+//    values" of Sec 5.3. Optional; collected only when requested.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "types/value.h"
+
+namespace ajr {
+
+/// One (value, occurrence count) pair in a frequent-values sketch.
+struct FrequentValue {
+  Value value;
+  size_t count = 0;
+};
+
+/// Equi-depth histogram: `bounds` has num_buckets+1 entries; bucket i covers
+/// [bounds[i], bounds[i+1]] and holds ~rows/num_buckets rows. Only built for
+/// orderable columns (all types are orderable here).
+struct EquiDepthHistogram {
+  std::vector<Value> bounds;
+  size_t rows = 0;
+
+  size_t num_buckets() const { return bounds.empty() ? 0 : bounds.size() - 1; }
+
+  /// Estimated fraction of rows with value <= v (linear interpolation for
+  /// numeric bucket interiors; bucket-granular for strings).
+  double EstimateFractionLe(const Value& v) const;
+};
+
+/// Per-column statistics.
+struct ColumnStats {
+  std::optional<Value> min;
+  std::optional<Value> max;
+  /// Exact number of distinct values at ANALYZE time.
+  size_t ndv = 0;
+
+  /// Rich tier (empty unless ANALYZE ran with rich=true).
+  std::vector<FrequentValue> frequent;  ///< sorted by count descending
+  std::optional<EquiDepthHistogram> histogram;
+
+  bool has_rich() const { return !frequent.empty() || histogram.has_value(); }
+};
+
+}  // namespace ajr

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for data synthesis and tests.
+//
+// All randomness in AJR flows through Rng (splitmix64-seeded xoshiro256**) so
+// that data sets, workloads, and property tests are bit-reproducible across
+// platforms. <random> distributions are deliberately avoided because their
+// output is implementation-defined.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ajr {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Deterministic across platforms.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on any platform.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (deterministic given the stream).
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Forks an independent stream; children of equal parents+salt are equal.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Zipf(n, s) sampler over {0, .., n-1}: P(k) proportional to 1/(k+1)^s.
+///
+/// Uses a precomputed CDF with binary-search sampling; construction is O(n),
+/// sampling O(log n). s = 0 degenerates to uniform.
+class ZipfDistribution {
+ public:
+  /// Builds the CDF for n items with exponent s >= 0. Requires n > 0.
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws an item index in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of item k.
+  double Pmf(size_t k) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ajr

@@ -1,0 +1,145 @@
+// Status / StatusOr: lightweight error propagation without exceptions.
+//
+// The public API of AJR never throws; fallible operations return Status or
+// StatusOr<T>. This mirrors the error-handling idiom of RocksDB/Arrow.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ajr {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInternal,
+  kNotSupported,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (no allocation). Construct error states via
+/// the static factories, e.g. `Status::InvalidArgument("bad column")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status.
+///
+/// Access the value with `value()` / `operator*` only after checking `ok()`;
+/// accessing the value of an error StatusOr aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (OK state).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ajr
+
+/// Propagates an error Status from an expression, e.g.
+///   AJR_RETURN_IF_ERROR(table->Insert(row));
+#define AJR_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ajr::Status _ajr_st = (expr);              \
+    if (!_ajr_st.ok()) return _ajr_st;           \
+  } while (0)
+
+#define AJR_CONCAT_IMPL(a, b) a##b
+#define AJR_CONCAT(a, b) AJR_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a StatusOr expression or propagates its error, e.g.
+///   AJR_ASSIGN_OR_RETURN(auto idx, catalog.GetIndex("car_make"));
+#define AJR_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto AJR_CONCAT(_ajr_sor_, __LINE__) = (expr);                   \
+  if (!AJR_CONCAT(_ajr_sor_, __LINE__).ok())                       \
+    return AJR_CONCAT(_ajr_sor_, __LINE__).status();               \
+  lhs = std::move(AJR_CONCAT(_ajr_sor_, __LINE__)).value()

@@ -1,0 +1,25 @@
+// Small string formatting helpers shared across modules.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ajr {
+
+/// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Formats a double with `precision` fractional digits (fixed notation).
+std::string FormatDouble(double v, int precision = 3);
+
+/// Streams all arguments into a single string, e.g. StrCat("leg ", 3).
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+
+}  // namespace ajr

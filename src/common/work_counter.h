@@ -1,0 +1,44 @@
+// Deterministic work accounting.
+//
+// Adaptive reordering decisions must be reproducible, so probe costs are
+// measured in abstract "work units" rather than wall time: B+-tree node
+// visits, heap-row fetches, and predicate evaluations each charge a fixed
+// number of units. Wall time is still reported by the benchmark harnesses,
+// but never feeds back into plan decisions.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ajr {
+
+/// Cumulative work-unit counter threaded through storage and executor code.
+///
+/// A single WorkCounter instance is owned by the executor for a query and
+/// passed (as a pointer) into every cursor/probe; null pointers are allowed
+/// and make charging a no-op, so storage can be used stand-alone.
+class WorkCounter {
+ public:
+  /// Cost charged per B+-tree node visited during a traversal.
+  static constexpr uint64_t kIndexNodeVisit = 4;
+  /// Cost charged per index leaf entry scanned.
+  static constexpr uint64_t kIndexEntryScan = 1;
+  /// Cost charged per heap row fetched by RID.
+  static constexpr uint64_t kRowFetch = 4;
+  /// Cost charged per predicate (tree) evaluation against a row.
+  static constexpr uint64_t kPredicateEval = 1;
+
+  void Add(uint64_t units) { total_ += units; }
+  uint64_t total() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  uint64_t total_ = 0;
+};
+
+/// Charges `units` to `counter` if it is non-null.
+inline void ChargeWork(WorkCounter* counter, uint64_t units) {
+  if (counter != nullptr) counter->Add(units);
+}
+
+}  // namespace ajr

@@ -1,0 +1,524 @@
+#include "exec/pipeline_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace ajr {
+
+/// Per-leg runtime state.
+struct PipelineExecutor::LegRt {
+  const TableEntry* entry = nullptr;
+  /// Full local predicate — applied in the inner role, where the probe index
+  /// covers only the join predicate.
+  BoundPredicatePtr local_bound;
+  /// Residual local predicate for the driving role (conjuncts not absorbed
+  /// into the driving index's ranges).
+  BoundPredicatePtr driving_residual;
+  /// Column index on this table's side of each edge (SIZE_MAX = edge does
+  /// not touch this table).
+  std::vector<size_t> edge_col;
+  /// Tallest probe-index height (cost-model input).
+  double index_height = 3;
+
+  // Driving-scan state.
+  std::unique_ptr<ScanCursor> cursor;
+  double total_raw_entries = 0;  ///< entries the full driving scan covers
+  /// Processed prefix (positional predicate) once demoted; in the scan
+  /// order of `cursor`.
+  std::optional<ScanPosition> prefix;
+  /// Column index of the prefix's key (SIZE_MAX = RID order).
+  size_t prefix_col = SIZE_MAX;
+  /// Remaining entries/fraction behind `prefix`, frozen at demotion time —
+  /// the prefix only moves when the leg drives again, so caching keeps the
+  /// per-check cost free of B+-tree descents.
+  double cached_remaining_entries = 0;
+  double cached_remaining_fraction = 1.0;
+
+  // Monitors.
+  LegMonitor inner_monitor;
+  DrivingMonitor driving_monitor;
+
+  // Inner-role state for the current incoming row.
+  std::vector<Rid> matches;
+  size_t match_pos = 0;
+  bool loaded = false;
+  size_t probe_edge = SIZE_MAX;
+  std::vector<size_t> applicable_edges;  ///< edges to preceding tables
+  uint64_t incoming_since_check = 0;
+  /// Current inner-check interval (grows under back-off).
+  uint64_t check_interval = 10;
+};
+
+namespace {
+
+// Sample floor for monitored selectivities in inner-reorder decisions (see
+// BuildRuntimeCostInputs doc comment).
+constexpr uint64_t kInnerMinSamples = 2;
+
+// Entries of `tree` within `range`.
+size_t CountRange(const BPlusTree& tree, const KeyRange& range) {
+  size_t hi = range.hi.has_value()
+                  ? (range.hi_inclusive ? tree.CountKeyLessEqual(*range.hi)
+                                        : tree.CountKeyLess(*range.hi))
+                  : tree.size();
+  size_t lo = range.lo.has_value()
+                  ? (range.lo_inclusive ? tree.CountKeyLess(*range.lo)
+                                        : tree.CountKeyLessEqual(*range.lo))
+                  : 0;
+  return hi > lo ? hi - lo : 0;
+}
+
+// Entries of `tree` within `ranges`, restricted to strictly after `pos`
+// (nullopt = no restriction).
+size_t CountRangesAfter(const BPlusTree& tree, const std::vector<KeyRange>& ranges,
+                        const std::optional<ScanPosition>& pos) {
+  size_t at_or_before_pos =
+      pos.has_value() ? tree.size() - tree.CountEntriesAfter(pos->key, pos->rid) : 0;
+  size_t total = 0;
+  for (const auto& r : ranges) {
+    size_t in_range = CountRange(tree, r);
+    if (pos.has_value()) {
+      size_t lo = r.lo.has_value()
+                      ? (r.lo_inclusive ? tree.CountKeyLess(*r.lo)
+                                        : tree.CountKeyLessEqual(*r.lo))
+                      : 0;
+      // Entries in the range that are <= pos.
+      size_t processed =
+          at_or_before_pos > lo ? std::min(at_or_before_pos - lo, in_range) : 0;
+      in_range -= processed;
+    }
+    total += in_range;
+  }
+  return total;
+}
+
+}  // namespace
+
+PipelineExecutor::PipelineExecutor(const PipelinePlan* plan, AdaptiveOptions options)
+    : plan_(plan), options_(options) {}
+
+PipelineExecutor::~PipelineExecutor() = default;
+
+Status PipelineExecutor::InitLegs() {
+  const JoinQuery& q = plan_->query;
+  const size_t n = q.tables.size();
+  legs_.resize(n);
+  current_rows_.assign(n, nullptr);
+  edge_monitors_.assign(q.edges.size(),
+                        EdgeMonitor(options_.history_window, options_.averaging));
+  for (size_t t = 0; t < n; ++t) {
+    LegRt& leg = legs_[t];
+    leg.entry = plan_->entries[t];
+    leg.check_interval = options_.check_frequency;
+    leg.inner_monitor = LegMonitor(options_.history_window, options_.averaging);
+    leg.driving_monitor = DrivingMonitor(options_.history_window, options_.averaging);
+    AJR_ASSIGN_OR_RETURN(leg.local_bound,
+                         BindPredicate(q.local_predicates[t], leg.entry->schema()));
+    AJR_ASSIGN_OR_RETURN(
+        leg.driving_residual,
+        BindPredicate(plan_->access[t].driving.residual, leg.entry->schema()));
+    leg.edge_col.assign(q.edges.size(), SIZE_MAX);
+    for (const auto& e : q.edges) {
+      if (!e.Touches(t)) continue;
+      AJR_ASSIGN_OR_RETURN(size_t col,
+                           leg.entry->schema().ColumnIndex(e.ColumnOn(t)));
+      leg.edge_col[e.edge_id] = col;
+    }
+    for (const auto& idx : leg.entry->indexes()) {
+      leg.index_height =
+          std::max(leg.index_height, static_cast<double>(idx->tree->height()));
+    }
+  }
+  output_cols_.clear();
+  for (const auto& oc : q.output) {
+    AJR_ASSIGN_OR_RETURN(size_t col,
+                         plan_->entries[oc.table]->schema().ColumnIndex(oc.column));
+    output_cols_.emplace_back(oc.table, col);
+  }
+  return Status::OK();
+}
+
+Status PipelineExecutor::CreateDrivingCursor(size_t t) {
+  LegRt& leg = legs_[t];
+  const DrivingAccess& access = plan_->access[t].driving;
+  if (access.index != nullptr) {
+    leg.cursor = std::make_unique<IndexScanCursor>(access.index->tree.get(),
+                                                   access.ranges);
+    leg.total_raw_entries = static_cast<double>(
+        CountRangesAfter(*access.index->tree, access.ranges, std::nullopt));
+    leg.prefix_col = access.index->column_idx;
+  } else {
+    leg.cursor = std::make_unique<TableScanCursor>(&leg.entry->table());
+    leg.total_raw_entries = static_cast<double>(leg.entry->table().num_rows());
+    leg.prefix_col = SIZE_MAX;
+  }
+  return Status::OK();
+}
+
+void PipelineExecutor::RefreshPositions(size_t from) {
+  CostInputs in = BuildRuntimeCostInputs(kInnerMinSamples);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < from; ++i) mask |= uint64_t{1} << order_[i];
+  for (size_t i = from; i < order_.size(); ++i) {
+    size_t t = order_[i];
+    LegRt& leg = legs_[t];
+    leg.loaded = false;
+    leg.matches.clear();
+    leg.match_pos = 0;
+    leg.applicable_edges.clear();
+    for (const auto& e : plan_->query.edges) {
+      if (e.Touches(t) && (mask & (uint64_t{1} << e.Other(t))) != 0) {
+        leg.applicable_edges.push_back(e.edge_id);
+      }
+    }
+    leg.probe_edge = ChooseProbeEdge(in, t, mask);
+    mask |= uint64_t{1} << t;
+  }
+}
+
+CostInputs PipelineExecutor::BuildRuntimeCostInputs(uint64_t min_leg_samples) const {
+  CostInputs in;
+  in.query = &plan_->query;
+  const size_t n = plan_->query.tables.size();
+  in.tables.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    const LegRt& leg = legs_[t];
+    LegParams& p = in.tables[t];
+    p.cardinality = static_cast<double>(leg.entry->StatsCardinality());
+    p.index_height = leg.index_height;
+    double est = plan_->est_local_sel[t];
+    if (leg.inner_monitor.incoming_total() >= min_leg_samples) {
+      // Inner role sees all local predicates as residuals of the probe.
+      p.local_sel = leg.inner_monitor.LocalSel(est);
+    } else if (leg.driving_monitor.scanned_total() > 0) {
+      // Eq 9: S_LP = S_LPI (optimizer) * S_LPR (measured).
+      p.local_sel = plan_->access[t].driving.est_slpi *
+                    leg.driving_monitor.ResidualSel(1.0);
+    } else {
+      p.local_sel = est;
+    }
+    // A demoted leg's positional predicate shrinks its effective
+    // cardinality to the unprocessed remainder.
+    if (leg.prefix.has_value()) {
+      p.local_sel *= leg.cached_remaining_fraction;
+    }
+  }
+  in.edge_sel.resize(plan_->query.edges.size());
+  for (size_t e = 0; e < in.edge_sel.size(); ++e) {
+    in.edge_sel[e] =
+        edge_monitors_[e].Selectivity(plan_->est_edge_sel[e], options_.min_edge_pairs);
+  }
+  return in;
+}
+
+double PipelineExecutor::RemainingEntries(size_t t) const {
+  const LegRt& leg = legs_[t];
+  assert(leg.cursor != nullptr);
+  const DrivingAccess& access = plan_->access[t].driving;
+  // Position: for the current driving leg, the live cursor position; for a
+  // demoted leg, its recorded prefix.
+  std::optional<ScanPosition> pos = leg.prefix;
+  if (t == order_[0] && leg.driving_monitor.scanned_total() > 0) {
+    pos = leg.cursor->CurrentPosition();
+  }
+  if (access.index != nullptr) {
+    return static_cast<double>(
+        CountRangesAfter(*access.index->tree, access.ranges, pos));
+  }
+  size_t total = leg.entry->table().num_rows();
+  size_t done = pos.has_value() ? static_cast<size_t>(pos->rid) + 1 : 0;
+  return static_cast<double>(total > done ? total - done : 0);
+}
+
+bool PipelineExecutor::NextDrivingRow() {
+  size_t t = order_[0];
+  LegRt& leg = legs_[t];
+  Rid rid;
+  while (leg.cursor->Next(&wc_, &rid)) {
+    const Row& row = leg.entry->table().Fetch(rid, &wc_);
+    bool pass = leg.driving_residual->EvalCounted(row, &wc_);
+    leg.driving_monitor.RecordScannedEntry(pass);
+    if (!pass) continue;
+    current_rows_[t] = &row;
+    ++produced_since_check_;
+    ++stats_.driving_rows_produced;
+    return true;
+  }
+  return false;
+}
+
+void PipelineExecutor::ProbeLeg(size_t level) {
+  size_t t = order_[level];
+  LegRt& leg = legs_[t];
+  leg.matches.clear();
+  leg.match_pos = 0;
+  leg.loaded = true;
+  ++leg.incoming_since_check;
+  const uint64_t work_before = wc_.total();
+  const JoinQuery& q = plan_->query;
+  const double table_card = static_cast<double>(leg.entry->table().num_rows());
+
+  double fetched = 0, after_edges = 0, out = 0;
+  auto consider = [&](Rid rid, const Row& row, bool probe_edge_known_to_match) {
+    // Residual join predicates (edges other than the probe edge).
+    for (size_t e2 : leg.applicable_edges) {
+      if (e2 == leg.probe_edge && probe_edge_known_to_match) continue;
+      const JoinEdge& edge = q.edges[e2];
+      size_t other = edge.Other(t);
+      ChargeWork(&wc_, WorkCounter::kPredicateEval);
+      bool eq = row[leg.edge_col[e2]] ==
+                (*current_rows_[other])[legs_[other].edge_col[e2]];
+      if (e2 != leg.probe_edge) edge_monitors_[e2].Record(1, eq ? 1 : 0);
+      if (!eq) return;
+    }
+    after_edges += 1;
+    if (!leg.local_bound->EvalCounted(row, &wc_)) return;
+    // Positional predicate of a demoted driving leg (Sec 4.2).
+    if (leg.prefix.has_value()) {
+      ChargeWork(&wc_, WorkCounter::kPredicateEval);
+      bool after = leg.prefix_col == SIZE_MAX
+                       ? leg.prefix->StrictlyBeforeRid(rid)
+                       : leg.prefix->StrictlyBefore(row[leg.prefix_col], rid);
+      if (!after) return;
+    }
+    out += 1;
+    leg.matches.push_back(rid);
+  };
+
+  const IndexInfo* probe_index =
+      leg.probe_edge == SIZE_MAX ? nullptr
+                                 : plan_->access[t].probe_index_by_edge[leg.probe_edge];
+  if (probe_index != nullptr) {
+    const JoinEdge& edge = q.edges[leg.probe_edge];
+    size_t other = edge.Other(t);
+    const Value& key = (*current_rows_[other])[legs_[other].edge_col[leg.probe_edge]];
+    IndexProbe probe(probe_index->tree.get());
+    probe.Seek(key, &wc_);
+    Rid rid;
+    while (probe.Next(&wc_, &rid)) {
+      const Row& row = leg.entry->table().Fetch(rid, &wc_);
+      fetched += 1;
+      consider(rid, row, /*probe_edge_known_to_match=*/true);
+    }
+    edge_monitors_[leg.probe_edge].Record(table_card, fetched);
+  } else if (leg.probe_edge != SIZE_MAX) {
+    // No index on the join column: filtered full scan (never hit by the DMV
+    // workload, kept for generality).
+    const JoinEdge& edge = q.edges[leg.probe_edge];
+    size_t other = edge.Other(t);
+    const Value& key = (*current_rows_[other])[legs_[other].edge_col[leg.probe_edge]];
+    for (Rid rid = 0; rid < leg.entry->table().num_rows(); ++rid) {
+      const Row& row = leg.entry->table().Fetch(rid, &wc_);
+      ChargeWork(&wc_, WorkCounter::kPredicateEval);
+      if (!(row[leg.edge_col[leg.probe_edge]] == key)) continue;
+      fetched += 1;
+      consider(rid, row, /*probe_edge_known_to_match=*/true);
+    }
+    edge_monitors_[leg.probe_edge].Record(table_card, fetched);
+  } else {
+    // Cartesian leg (validated queries are connected, so unreachable), but
+    // stay total: every row is a candidate.
+    for (Rid rid = 0; rid < leg.entry->table().num_rows(); ++rid) {
+      const Row& row = leg.entry->table().Fetch(rid, &wc_);
+      fetched += 1;
+      consider(rid, row, false);
+    }
+  }
+  leg.inner_monitor.RecordIncomingRow(after_edges, out,
+                                      static_cast<double>(wc_.total() - work_before));
+}
+
+void PipelineExecutor::DrivingCheck() {
+  produced_since_check_ = 0;
+  ++stats_.driving_checks;
+  // Back-off bookkeeping: assume unproductive; a switch below resets it.
+  if (options_.check_backoff) {
+    driving_check_interval_ =
+        std::min(driving_check_interval_ * 2,
+                 options_.check_frequency * AdaptiveOptions::kMaxBackoff);
+  }
+  CostInputs in = BuildRuntimeCostInputs(options_.min_leg_samples);
+  const size_t current = order_[0];
+  const double current_remaining = RemainingEntries(current);
+  // Anticipate the demotion of the current driving leg: as an inner leg its
+  // positional predicate would keep only the unprocessed remainder.
+  if (legs_[current].total_raw_entries > 0) {
+    in.tables[current].local_sel *= std::min(
+        1.0, current_remaining / legs_[current].total_raw_entries);
+  }
+
+  std::vector<DrivingCandidate> candidates(in.tables.size());
+  for (size_t t = 0; t < in.tables.size(); ++t) {
+    DrivingCandidate& cand = candidates[t];
+    cand.table = t;
+    const LegRt& leg = legs_[t];
+    if (leg.cursor != nullptr) {
+      // Exact: the live cursor knows its position; a demoted leg's
+      // remainder was frozen at demotion time.
+      cand.raw_entries = t == current ? current_remaining : leg.cached_remaining_entries;
+      double s_lpr = leg.driving_monitor.scanned_total() > 0
+                         ? leg.driving_monitor.ResidualSel(1.0)
+                         : (plan_->access[t].driving.est_slpi > 0
+                                ? plan_->est_local_sel[t] /
+                                      plan_->access[t].driving.est_slpi
+                                : 1.0);
+      cand.flow = cand.raw_entries * std::min(1.0, s_lpr);
+    } else {
+      // Never scanned: the optimizer's S_LPI (Sec 4.3.3) — possibly badly
+      // wrong under skew, which is the paper's Template 4 degradation.
+      double card = static_cast<double>(leg.entry->StatsCardinality());
+      cand.raw_entries = plan_->access[t].driving.est_slpi * card;
+      cand.flow = in.tables[t].local_sel * card;
+    }
+  }
+
+  auto decision = CheckDrivingSwitch(in, order_, candidates, options_);
+  if (!decision.has_value()) return;
+  ++stats_.driving_switches;
+  driving_check_interval_ = options_.check_frequency;
+  {
+    std::string msg = StrCat("driving switch after ", stats_.driving_rows_produced,
+                             " rows: ", plan_->query.tables[current].alias, " -> ",
+                             plan_->query.tables[decision->new_order[0]].alias,
+                             " (est remaining ", FormatDouble(decision->est_current, 0),
+                             " -> ", FormatDouble(decision->est_best, 0), " wu); order");
+    for (size_t t : decision->new_order) {
+      msg += " " + plan_->query.tables[t].alias;
+    }
+    stats_.events.push_back(std::move(msg));
+  }
+
+  // Demote the old driving leg: record the processed prefix for its
+  // positional predicate (Sec 4.2). The cursor is kept for re-promotion.
+  LegRt& old_leg = legs_[current];
+  old_leg.prefix = old_leg.cursor->CurrentPosition();
+  old_leg.cached_remaining_entries = RemainingEntries(current);
+  old_leg.cached_remaining_fraction =
+      old_leg.total_raw_entries > 0
+          ? std::min(1.0, old_leg.cached_remaining_entries / old_leg.total_raw_entries)
+          : 1.0;
+
+  // Promote the new driving leg; a previously demoted leg resumes its
+  // original cursor (which already sits past its prefix).
+  size_t next = decision->new_order[0];
+  if (legs_[next].cursor == nullptr) {
+    Status st = CreateDrivingCursor(next);
+    assert(st.ok());
+    (void)st;
+  }
+  order_ = decision->new_order;
+  RefreshPositions(1);
+}
+
+void PipelineExecutor::InnerCheck(size_t level) {
+  LegRt& checking_leg = legs_[order_[level]];
+  checking_leg.incoming_since_check = 0;
+  if (options_.check_backoff) {
+    checking_leg.check_interval =
+        std::min(checking_leg.check_interval * 2,
+                 options_.check_frequency * AdaptiveOptions::kMaxBackoff);
+  }
+  ++stats_.inner_checks;
+  CostInputs in = BuildRuntimeCostInputs(kInnerMinSamples);
+  auto tail = CheckInnerReorder(in, order_, level, options_.inner_benefit_epsilon);
+  if (!tail.has_value()) return;
+  ++stats_.inner_reorders;
+  checking_leg.check_interval = options_.check_frequency;
+  std::copy(tail->begin(), tail->end(), order_.begin() + level);
+  RefreshPositions(level);
+  {
+    std::string msg =
+        StrCat("inner reorder at position ", level, " after ",
+               stats_.driving_rows_produced, " driving rows; order");
+    uint64_t mask = 0;
+    for (size_t i = 0; i < static_cast<size_t>(level); ++i) {
+      mask |= uint64_t{1} << order_[i];
+    }
+    for (size_t i = 0; i < order_.size(); ++i) {
+      size_t t = order_[i];
+      msg += " " + plan_->query.tables[t].alias;
+      if (i >= static_cast<size_t>(level)) {
+        msg += StrCat("(jc=", FormatDouble(JcAt(in, t, mask), 3),
+                      ",rank=", FormatDouble(Rank(JcAt(in, t, mask), PcAt(in, t, mask)), 4),
+                      ")");
+        mask |= uint64_t{1} << t;
+      }
+    }
+    stats_.events.push_back(std::move(msg));
+  }
+}
+
+void PipelineExecutor::Emit(const RowSink& sink) {
+  ++stats_.rows_out;
+  if (!sink) return;
+  Row out;
+  out.reserve(output_cols_.size());
+  for (const auto& [t, col] : output_cols_) {
+    out.push_back((*current_rows_[t])[col]);
+  }
+  sink(out);
+}
+
+StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
+  if (legs_.empty()) {
+    AJR_RETURN_IF_ERROR(InitLegs());
+  } else {
+    return Status::Internal("PipelineExecutor is single-use");
+  }
+  order_ = plan_->initial_order;
+  driving_check_interval_ = options_.check_frequency;
+  stats_ = ExecStats();
+  stats_.initial_order = order_;
+  AJR_RETURN_IF_ERROR(CreateDrivingCursor(order_[0]));
+  RefreshPositions(1);
+
+  const auto start = std::chrono::steady_clock::now();
+  const size_t k = order_.size();
+  int level = 0;
+  while (level >= 0) {
+    if (level == 0) {
+      if (options_.reorder_driving && k > 1 &&
+          produced_since_check_ >= driving_check_interval_) {
+        DrivingCheck();
+      }
+      if (!NextDrivingRow()) break;
+      if (k == 1) {
+        Emit(sink);
+        continue;
+      }
+      legs_[order_[1]].loaded = false;
+      level = 1;
+      continue;
+    }
+    LegRt& leg = legs_[order_[level]];
+    if (!leg.loaded) ProbeLeg(static_cast<size_t>(level));
+    if (leg.match_pos < leg.matches.size()) {
+      Rid rid = leg.matches[leg.match_pos++];
+      current_rows_[order_[level]] = &leg.entry->table().Get(rid);
+      if (static_cast<size_t>(level) + 1 == k) {
+        Emit(sink);
+      } else {
+        legs_[order_[level + 1]].loaded = false;
+        ++level;
+      }
+    } else {
+      // Depleted state for segment [level..k] (Sec 4.1): check & reorder.
+      leg.loaded = false;
+      if (options_.reorder_inners && static_cast<size_t>(level) + 1 < k &&
+          leg.incoming_since_check >= leg.check_interval) {
+        InnerCheck(static_cast<size_t>(level));
+      }
+      --level;
+    }
+  }
+  stats_.final_order = order_;
+  stats_.work_units = wc_.total();
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return stats_;
+}
+
+}  // namespace ajr

@@ -1,0 +1,104 @@
+// PipelineExecutor: pipelined indexed nested-loop join execution with
+// adaptive join reordering (Sec 3.1, 4).
+//
+// The executor runs one PipelinePlan as a single get-next loop over a stack
+// of legs. The loop's structure makes the paper's depleted states explicit:
+// the only moment leg i pulls a new row from leg i-1 is when leg i's match
+// buffer for the current incoming row is exhausted — at that moment the
+// whole segment i..k is depleted and may be reordered (Sec 4.1). Driving
+// checks fire between driving rows, when the entire pipeline is depleted
+// (Sec 4.2).
+//
+// Duplicate prevention is by construction (Sec 4.2): a demoted driving leg
+// carries a positional predicate on its scan order — "key > k* OR (key = k*
+// AND rid > r*)" for an index scan, "rid > r*" for a table scan — and its
+// cursor is kept so a re-promotion resumes the original scan.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "adaptive/monitor.h"
+#include "common/status.h"
+#include "common/work_counter.h"
+#include "expr/evaluator.h"
+#include "optimize/planner.h"
+#include "storage/cursors.h"
+
+namespace ajr {
+
+/// Counters reported by one execution.
+struct ExecStats {
+  uint64_t rows_out = 0;
+  uint64_t work_units = 0;
+  uint64_t driving_rows_produced = 0;
+  uint64_t inner_checks = 0;
+  uint64_t inner_reorders = 0;
+  uint64_t driving_checks = 0;
+  uint64_t driving_switches = 0;
+  /// Total join-order changes (inner reorders + driving switches) — the
+  /// quantity Fig 10 plots against the history window size.
+  uint64_t order_switches() const { return inner_reorders + driving_switches; }
+  std::vector<size_t> initial_order;
+  std::vector<size_t> final_order;
+  double wall_seconds = 0;
+  /// Human-readable adaptation event log (one line per reorder/switch):
+  /// populated only when events occur, so it costs nothing on the hot path.
+  std::vector<std::string> events;
+};
+
+/// Receives each projected output row.
+using RowSink = std::function<void(const Row&)>;
+
+/// Executes one PipelinePlan. Single-use: construct, Execute once.
+class PipelineExecutor {
+ public:
+  /// `plan` must outlive the executor. Pass `options.reorder_inners =
+  /// options.reorder_driving = false` for the static (no-switch) baseline.
+  PipelineExecutor(const PipelinePlan* plan, AdaptiveOptions options = {});
+  ~PipelineExecutor();
+
+  /// Runs the plan to completion, invoking `sink` per output row (sink may
+  /// be null to count only).
+  StatusOr<ExecStats> Execute(const RowSink& sink);
+
+ private:
+  struct LegRt;
+
+  Status InitLegs();
+  Status CreateDrivingCursor(size_t t);
+  /// Recomputes position-derived state (applicable edges, probe edge,
+  /// loaded flags) for pipeline positions [from..k].
+  void RefreshPositions(size_t from);
+  /// `min_leg_samples` gates monitored local selectivities (below it the
+  /// optimizer estimate is used). Inner reorders pass a small value —
+  /// they are cheap and reversible, so acting on young monitors is fine —
+  /// while driving switches pass options_.min_leg_samples (a cold monitor
+  /// must not make a candidate driving plan look free).
+  CostInputs BuildRuntimeCostInputs(uint64_t min_leg_samples) const;
+  /// Exact remaining scan entries for a leg that has (or had) a cursor.
+  double RemainingEntries(size_t t) const;
+  bool NextDrivingRow();
+  void ProbeLeg(size_t level);
+  void DrivingCheck();
+  void InnerCheck(size_t level);
+  void Emit(const RowSink& sink);
+
+  const PipelinePlan* plan_;
+  AdaptiveOptions options_;
+  std::vector<LegRt> legs_;        // indexed by query table index
+  std::vector<size_t> order_;      // pipeline order; order_[0] = driving
+  std::vector<const Row*> current_rows_;
+  std::vector<EdgeMonitor> edge_monitors_;
+  std::vector<std::pair<size_t, size_t>> output_cols_;  // (table, column idx)
+  WorkCounter wc_;
+  uint64_t produced_since_check_ = 0;
+  uint64_t driving_check_interval_ = 10;
+  ExecStats stats_;
+};
+
+}  // namespace ajr

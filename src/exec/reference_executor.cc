@@ -1,0 +1,103 @@
+#include "exec/reference_executor.h"
+
+#include <algorithm>
+
+#include "expr/evaluator.h"
+
+namespace ajr {
+
+namespace {
+
+bool RowLess(const Row& a, const Row& b) {
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+void SortRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), RowLess);
+}
+
+StatusOr<std::vector<Row>> ExecuteReference(const Catalog& catalog,
+                                            const JoinQuery& query) {
+  AJR_RETURN_IF_ERROR(query.Validate());
+  const size_t n = query.tables.size();
+  std::vector<const TableEntry*> entries(n);
+  std::vector<BoundPredicatePtr> local(n);
+  std::vector<std::vector<size_t>> edge_col(n);
+  for (size_t t = 0; t < n; ++t) {
+    AJR_ASSIGN_OR_RETURN(const TableEntry* entry,
+                         catalog.GetTable(query.tables[t].table));
+    entries[t] = entry;
+    AJR_ASSIGN_OR_RETURN(local[t],
+                         BindPredicate(query.local_predicates[t], entry->schema()));
+    edge_col[t].assign(query.edges.size(), SIZE_MAX);
+    for (const auto& e : query.edges) {
+      if (!e.Touches(t)) continue;
+      AJR_ASSIGN_OR_RETURN(size_t col, entry->schema().ColumnIndex(e.ColumnOn(t)));
+      edge_col[t][e.edge_id] = col;
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> output_cols;
+  for (const auto& oc : query.output) {
+    AJR_ASSIGN_OR_RETURN(size_t col,
+                         entries[oc.table]->schema().ColumnIndex(oc.column));
+    output_cols.emplace_back(oc.table, col);
+  }
+
+  // Pre-filter each table by its local predicate.
+  std::vector<std::vector<Rid>> candidates(n);
+  for (size_t t = 0; t < n; ++t) {
+    const HeapTable& table = entries[t]->table();
+    for (Rid rid = 0; rid < table.num_rows(); ++rid) {
+      if (local[t]->Eval(table.Get(rid))) candidates[t].push_back(rid);
+    }
+  }
+
+  std::vector<Row> out;
+  std::vector<const Row*> current(n, nullptr);
+  // Depth-first enumeration in query-table order; each level checks the
+  // join edges to already-bound tables.
+  struct Enumerator {
+    const JoinQuery& query;
+    const std::vector<const TableEntry*>& entries;
+    const std::vector<std::vector<Rid>>& candidates;
+    const std::vector<std::vector<size_t>>& edge_col;
+    const std::vector<std::pair<size_t, size_t>>& output_cols;
+    std::vector<const Row*>& current;
+    std::vector<Row>& out;
+
+    void Recurse(size_t t) {
+      if (t == query.tables.size()) {
+        Row row;
+        row.reserve(output_cols.size());
+        for (const auto& [ot, col] : output_cols) row.push_back((*current[ot])[col]);
+        out.push_back(std::move(row));
+        return;
+      }
+      for (Rid rid : candidates[t]) {
+        const Row& row = entries[t]->table().Get(rid);
+        bool pass = true;
+        for (const auto& e : query.edges) {
+          if (!e.Touches(t) || e.Other(t) >= t) continue;
+          if (!(row[edge_col[t][e.edge_id]] ==
+                (*current[e.Other(t)])[edge_col[e.Other(t)][e.edge_id]])) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        current[t] = &row;
+        Recurse(t + 1);
+      }
+    }
+  } enumerator{query, entries, candidates, edge_col, output_cols, current, out};
+  enumerator.Recurse(0);
+  return out;
+}
+
+}  // namespace ajr

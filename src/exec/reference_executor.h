@@ -1,0 +1,25 @@
+// ReferenceExecutor: a deliberately naive join evaluator used as the
+// correctness oracle in tests. It enumerates tables in query order with
+// plain nested loops (no indexes, no adaptation), so its result multiset is
+// trivially correct; the adaptive executor must produce exactly the same
+// multiset under any switching schedule.
+
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimize/query.h"
+
+namespace ajr {
+
+/// Evaluates `query` by brute force; returns the projected output rows
+/// (unordered — compare as multisets via SortRows).
+StatusOr<std::vector<Row>> ExecuteReference(const Catalog& catalog,
+                                            const JoinQuery& query);
+
+/// Sorts rows lexicographically for multiset comparison.
+void SortRows(std::vector<Row>* rows);
+
+}  // namespace ajr

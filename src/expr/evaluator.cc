@@ -1,0 +1,234 @@
+#include "expr/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ajr {
+
+namespace {
+
+/// Always-true predicate (for null expression trees).
+class TruePredicate final : public BoundPredicate {
+ public:
+  bool Eval(const Row&) const override { return true; }
+};
+
+/// column <op> constant — the dominant predicate shape; specialized to avoid
+/// any indirection beyond one virtual call.
+class ColConstPredicate final : public BoundPredicate {
+ public:
+  ColConstPredicate(size_t col, CompareOp op, Value constant)
+      : col_(col), op_(op), constant_(std::move(constant)) {}
+
+  bool Eval(const Row& row) const override {
+    int c = row[col_].Compare(constant_);
+    switch (op_) {
+      case CompareOp::kEq:
+        return c == 0;
+      case CompareOp::kNe:
+        return c != 0;
+      case CompareOp::kLt:
+        return c < 0;
+      case CompareOp::kLe:
+        return c <= 0;
+      case CompareOp::kGt:
+        return c > 0;
+      case CompareOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  }
+
+ private:
+  size_t col_;
+  CompareOp op_;
+  Value constant_;
+};
+
+/// column <op> column (same table).
+class ColColPredicate final : public BoundPredicate {
+ public:
+  ColColPredicate(size_t lhs, CompareOp op, size_t rhs) : lhs_(lhs), op_(op), rhs_(rhs) {}
+
+  bool Eval(const Row& row) const override {
+    int c = row[lhs_].Compare(row[rhs_]);
+    switch (op_) {
+      case CompareOp::kEq:
+        return c == 0;
+      case CompareOp::kNe:
+        return c != 0;
+      case CompareOp::kLt:
+        return c < 0;
+      case CompareOp::kLe:
+        return c <= 0;
+      case CompareOp::kGt:
+        return c > 0;
+      case CompareOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  }
+
+ private:
+  size_t lhs_;
+  CompareOp op_;
+  size_t rhs_;
+};
+
+class AndPredicate final : public BoundPredicate {
+ public:
+  explicit AndPredicate(std::vector<BoundPredicatePtr> children)
+      : children_(std::move(children)) {}
+  bool Eval(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (!c->Eval(row)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<BoundPredicatePtr> children_;
+};
+
+class OrPredicate final : public BoundPredicate {
+ public:
+  explicit OrPredicate(std::vector<BoundPredicatePtr> children)
+      : children_(std::move(children)) {}
+  bool Eval(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (c->Eval(row)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<BoundPredicatePtr> children_;
+};
+
+class NotPredicate final : public BoundPredicate {
+ public:
+  explicit NotPredicate(BoundPredicatePtr child) : child_(std::move(child)) {}
+  bool Eval(const Row& row) const override { return !child_->Eval(row); }
+
+ private:
+  BoundPredicatePtr child_;
+};
+
+class InPredicate final : public BoundPredicate {
+ public:
+  InPredicate(size_t col, std::vector<Value> values)
+      : col_(col), values_(std::move(values)) {
+    std::sort(values_.begin(), values_.end());
+  }
+  bool Eval(const Row& row) const override {
+    return std::binary_search(values_.begin(), values_.end(), row[col_]);
+  }
+
+ private:
+  size_t col_;
+  std::vector<Value> values_;
+};
+
+class ConstBoolPredicate final : public BoundPredicate {
+ public:
+  explicit ConstBoolPredicate(bool v) : v_(v) {}
+  bool Eval(const Row&) const override { return v_; }
+
+ private:
+  bool v_;
+};
+
+}  // namespace
+
+StatusOr<BoundPredicatePtr> BindPredicate(const ExprPtr& expr, const Schema& schema) {
+  if (expr == nullptr) {
+    return BoundPredicatePtr(std::make_unique<TruePredicate>());
+  }
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(*expr);
+      if (lit.value().type() != DataType::kBool) {
+        return Status::InvalidArgument(
+            StrCat("non-boolean literal used as predicate: ", lit.value().ToString()));
+      }
+      return BoundPredicatePtr(std::make_unique<ConstBoolPredicate>(lit.value().AsBool()));
+    }
+    case ExprKind::kColumnRef:
+      return Status::InvalidArgument(
+          StrCat("bare column reference used as predicate: ", expr->ToString()));
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*expr);
+      const Expr* l = cmp.lhs().get();
+      const Expr* r = cmp.rhs().get();
+      // Normalize constant <op> column into column <flipped-op> constant.
+      CompareOp op = cmp.op();
+      if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kColumnRef) {
+        std::swap(l, r);
+        switch (cmp.op()) {
+          case CompareOp::kLt:
+            op = CompareOp::kGt;
+            break;
+          case CompareOp::kLe:
+            op = CompareOp::kGe;
+            break;
+          case CompareOp::kGt:
+            op = CompareOp::kLt;
+            break;
+          case CompareOp::kGe:
+            op = CompareOp::kLe;
+            break;
+          default:
+            break;
+        }
+      }
+      if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+        AJR_ASSIGN_OR_RETURN(
+            size_t col,
+            schema.ColumnIndex(static_cast<const ColumnRefExpr*>(l)->name()));
+        return BoundPredicatePtr(std::make_unique<ColConstPredicate>(
+            col, op, static_cast<const LiteralExpr*>(r)->value()));
+      }
+      if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kColumnRef) {
+        AJR_ASSIGN_OR_RETURN(
+            size_t lc,
+            schema.ColumnIndex(static_cast<const ColumnRefExpr*>(l)->name()));
+        AJR_ASSIGN_OR_RETURN(
+            size_t rc,
+            schema.ColumnIndex(static_cast<const ColumnRefExpr*>(r)->name()));
+        return BoundPredicatePtr(std::make_unique<ColColPredicate>(lc, op, rc));
+      }
+      return Status::NotSupported(
+          StrCat("unsupported comparison shape: ", expr->ToString()));
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const auto& logical = static_cast<const LogicalExpr&>(*expr);
+      std::vector<BoundPredicatePtr> children;
+      children.reserve(logical.children().size());
+      for (const auto& c : logical.children()) {
+        AJR_ASSIGN_OR_RETURN(auto bound, BindPredicate(c, schema));
+        children.push_back(std::move(bound));
+      }
+      if (expr->kind() == ExprKind::kAnd) {
+        return BoundPredicatePtr(std::make_unique<AndPredicate>(std::move(children)));
+      }
+      return BoundPredicatePtr(std::make_unique<OrPredicate>(std::move(children)));
+    }
+    case ExprKind::kNot: {
+      const auto& n = static_cast<const NotExpr&>(*expr);
+      AJR_ASSIGN_OR_RETURN(auto bound, BindPredicate(n.child(), schema));
+      return BoundPredicatePtr(std::make_unique<NotPredicate>(std::move(bound)));
+    }
+    case ExprKind::kIn: {
+      const auto& in = static_cast<const InExpr&>(*expr);
+      AJR_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(in.column()));
+      return BoundPredicatePtr(std::make_unique<InPredicate>(col, in.values()));
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace ajr

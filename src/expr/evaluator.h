@@ -1,0 +1,43 @@
+// Predicate binding and evaluation.
+//
+// Bind() resolves column names against a Schema once; the resulting
+// BoundPredicate evaluates rows with index lookups only (no name lookups on
+// the hot path). Evaluation optionally charges work units so the adaptive
+// layer can measure probe cost deterministically.
+
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/work_counter.h"
+#include "expr/expr.h"
+#include "types/schema.h"
+
+namespace ajr {
+
+/// A predicate compiled against a fixed schema; evaluates rows to bool.
+class BoundPredicate {
+ public:
+  virtual ~BoundPredicate() = default;
+
+  /// Evaluates the predicate on `row` (which must match the bound schema).
+  virtual bool Eval(const Row& row) const = 0;
+
+  /// Eval plus work accounting (one kPredicateEval unit per call).
+  bool EvalCounted(const Row& row, WorkCounter* wc) const {
+    ChargeWork(wc, WorkCounter::kPredicateEval);
+    return Eval(row);
+  }
+};
+
+using BoundPredicatePtr = std::unique_ptr<const BoundPredicate>;
+
+/// Compiles `expr` (boolean-valued) against `schema`.
+///
+/// Returns InvalidArgument for non-boolean shapes (e.g. a bare literal of
+/// non-bool type) and NotFound for unknown columns. A null `expr` is the
+/// always-true predicate.
+StatusOr<BoundPredicatePtr> BindPredicate(const ExprPtr& expr, const Schema& schema);
+
+}  // namespace ajr

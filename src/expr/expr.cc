@@ -1,0 +1,103 @@
+#include "expr/expr.h"
+
+#include "common/string_util.h"
+
+namespace ajr {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ComparisonExpr::ToString() const {
+  return StrCat(lhs_->ToString(), " ", CompareOpName(op_), " ", rhs_->ToString());
+}
+
+std::string LogicalExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(children_.size());
+  for (const auto& c : children_) parts.push_back("(" + c->ToString() + ")");
+  return Join(parts, kind() == ExprKind::kAnd ? " AND " : " OR ");
+}
+
+std::string InExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& v : values_) parts.push_back(v.ToString());
+  return StrCat(column_, " IN (", Join(parts, ", "), ")");
+}
+
+ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr Lit(int64_t v) { return Lit(Value(v)); }
+ExprPtr Lit(double v) { return Lit(Value(v)); }
+ExprPtr Lit(const char* v) { return Lit(Value(v)); }
+ExprPtr Col(std::string name) { return std::make_shared<ColumnRefExpr>(std::move(name)); }
+
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ComparisonExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr ColCmp(std::string column, CompareOp op, Value constant) {
+  return Cmp(op, Col(std::move(column)), Lit(std::move(constant)));
+}
+
+namespace {
+
+ExprPtr MakeLogical(ExprKind kind, std::vector<ExprPtr> children) {
+  std::vector<ExprPtr> flat;
+  for (auto& c : children) {
+    if (c == nullptr) continue;
+    if (c->kind() == kind) {
+      const auto& nested = static_cast<const LogicalExpr&>(*c).children();
+      flat.insert(flat.end(), nested.begin(), nested.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return nullptr;
+  if (flat.size() == 1) return flat[0];
+  return std::make_shared<LogicalExpr>(kind, std::move(flat));
+}
+
+}  // namespace
+
+ExprPtr And(std::vector<ExprPtr> children) {
+  return MakeLogical(ExprKind::kAnd, std::move(children));
+}
+
+ExprPtr Or(std::vector<ExprPtr> children) {
+  return MakeLogical(ExprKind::kOr, std::move(children));
+}
+
+ExprPtr Not(ExprPtr child) { return std::make_shared<NotExpr>(std::move(child)); }
+
+ExprPtr In(std::string column, std::vector<Value> values) {
+  return std::make_shared<InExpr>(std::move(column), std::move(values));
+}
+
+ExprPtr AndMaybe(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return And({std::move(a), std::move(b)});
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e) {
+  if (e == nullptr) return {};
+  if (e->kind() != ExprKind::kAnd) return {e};
+  return static_cast<const LogicalExpr&>(*e).children();
+}
+
+}  // namespace ajr

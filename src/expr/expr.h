@@ -1,0 +1,155 @@
+// Expression trees for local (single-table) predicates.
+//
+// AJR represents a query's WHERE clause as (a) per-table local predicate
+// trees built from these nodes and (b) binary equi-join edges (see
+// optimize/query.h). Expression trees are immutable and shared via
+// shared_ptr, so plan rewrites (adding positional predicates, splitting
+// index ranges) can freely recombine subtrees.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace ajr {
+
+/// Expression node kind.
+enum class ExprKind : uint8_t {
+  kLiteral,     ///< constant Value
+  kColumnRef,   ///< column by name (resolved at Bind time)
+  kComparison,  ///< lhs <op> rhs
+  kAnd,         ///< conjunction over >= 2 children
+  kOr,          ///< disjunction over >= 2 children
+  kNot,         ///< negation
+  kIn,          ///< column IN (v1, .., vn)
+};
+
+/// Comparison operator for kComparison nodes.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Renders an operator ("=", "<>", "<", ...).
+const char* CompareOpName(CompareOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression tree node.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  ExprKind kind() const { return kind_; }
+
+  /// Renders the expression as SQL-ish text.
+  virtual std::string ToString() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+/// Constant value.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value_(std::move(v)) {}
+  const Value& value() const { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+/// Reference to a column of the (single) table the predicate is local to.
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name)
+      : Expr(ExprKind::kColumnRef), name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Binary comparison.
+class ComparisonExpr : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kComparison), op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  CompareOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// N-ary AND / OR.
+class LogicalExpr : public Expr {
+ public:
+  LogicalExpr(ExprKind kind, std::vector<ExprPtr> children)
+      : Expr(kind), children_(std::move(children)) {}
+  const std::vector<ExprPtr>& children() const { return children_; }
+  std::string ToString() const override;
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+/// NOT child.
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : Expr(ExprKind::kNot), child_(std::move(child)) {}
+  const ExprPtr& child() const { return child_; }
+  std::string ToString() const override { return "NOT (" + child_->ToString() + ")"; }
+
+ private:
+  ExprPtr child_;
+};
+
+/// column IN (v1, .., vn). Values must share one type.
+class InExpr : public Expr {
+ public:
+  InExpr(std::string column, std::vector<Value> values)
+      : Expr(ExprKind::kIn), column_(std::move(column)), values_(std::move(values)) {}
+  const std::string& column() const { return column_; }
+  const std::vector<Value>& values() const { return values_; }
+  std::string ToString() const override;
+
+ private:
+  std::string column_;
+  std::vector<Value> values_;
+};
+
+// ---- Builder helpers ------------------------------------------------------
+
+ExprPtr Lit(Value v);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(double v);
+ExprPtr Lit(const char* v);
+ExprPtr Col(std::string name);
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+/// column <op> constant — the common shape in the DMV templates.
+ExprPtr ColCmp(std::string column, CompareOp op, Value constant);
+ExprPtr And(std::vector<ExprPtr> children);  ///< flattens nested ANDs; empty -> nullptr
+ExprPtr Or(std::vector<ExprPtr> children);   ///< flattens nested ORs; empty -> nullptr
+ExprPtr Not(ExprPtr child);
+ExprPtr In(std::string column, std::vector<Value> values);
+
+/// Conjunction of `a` and `b` where either may be null (null = TRUE).
+ExprPtr AndMaybe(ExprPtr a, ExprPtr b);
+
+/// Splits an AND tree into its conjunct list (non-AND expr -> single element;
+/// null -> empty list).
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e);
+
+}  // namespace ajr

@@ -1,0 +1,94 @@
+// The paper's cost model for pipelined plans (Sec 3.2) and the rank machinery
+// for inner-table ordering (Sec 3.3).
+//
+//   Cost(plan) = sum_i [ PC(T_o(i)) * prod_{j<i} JC(T_o(j)) ]     (Eq 1)
+//   rank(T)    = (JC(T) - 1) / PC(T)                              (Eq 3)
+//
+// with JC(T_o(0)) = 1 and JC(T_o(1)) = CLEG(driving). Inner tables are
+// optimal in ascending rank order (Eq 4, the ASI property) for a fixed
+// driving leg.
+//
+// These functions are deliberately shared between the static planner and the
+// adaptive run-time: the planner feeds them optimizer *estimates*, the
+// run-time feeds them monitored values — the decision procedure is identical,
+// only the inputs differ (Sec 4.3's point).
+//
+// Position dependence: on non-clique join graphs, which join predicates
+// apply to a leg depends on the tables placed before it (Sec 4.3.4), so JC
+// and PC are functions of the preceding set. GreedyRankOrder therefore
+// places, at each step, the connected leg with the smallest rank given what
+// is already placed (for the paper's tree-shaped queries this equals the
+// rank-sorted order of Eq 4 restricted to connected prefixes).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_counter.h"
+#include "optimize/query.h"
+
+namespace ajr {
+
+/// Per-table cost parameters. The planner fills these with estimates, the
+/// adaptive layer with monitored values (Sec 4.3).
+struct LegParams {
+  double cardinality = 0;  ///< C(T): base table cardinality
+  double local_sel = 1.0;  ///< S_LP(T): combined local-predicate selectivity
+  double index_height = 3; ///< B+-tree height of the probe index
+};
+
+/// Everything the cost functions need for one query.
+struct CostInputs {
+  const JoinQuery* query = nullptr;
+  std::vector<LegParams> tables;  ///< parallel to query->tables
+  std::vector<double> edge_sel;   ///< S_JP per edge, parallel to query->edges
+};
+
+/// The join edge leg `t` should probe through, given `preceding` (bitmask of
+/// placed tables): the applicable edge with the fewest expected matches.
+/// Returns the edge_id, or SIZE_MAX if no edge connects t to `preceding`.
+size_t ChooseProbeEdge(const CostInputs& in, size_t t, uint64_t preceding_mask);
+
+/// Expected index matches per probe of `t` through `edge_id`:
+/// C(T) * S_JP(edge).
+double MatchesPerProbe(const CostInputs& in, size_t t, size_t edge_id);
+
+/// JC(T | preceding): matching output rows per incoming row (Sec 4.3.4):
+/// C(T) * S_LP(T) * prod of S_JP over every applicable edge.
+double JcAt(const CostInputs& in, size_t t, uint64_t preceding_mask);
+
+/// PC(T | preceding): work units per incoming row for an indexed
+/// nested-loop probe of `t` (traversal + entry scans + fetches + predicate
+/// evaluations on fetched rows).
+double PcAt(const CostInputs& in, size_t t, uint64_t preceding_mask);
+
+/// rank(T) = (JC - 1) / PC (Eq 3).
+double Rank(double jc, double pc);
+
+/// Work units to scan `raw_entries` driving entries (fetch + filter each).
+double DrivingScanCost(double raw_entries, double index_height);
+
+/// Greedy ascending-rank order of `tables_to_place` given `already_placed`
+/// (both as bitmask / list). Only connected legs are eligible at each step;
+/// among them the smallest rank wins. Returns the placement order.
+std::vector<size_t> GreedyRankOrder(const CostInputs& in,
+                                    const std::vector<size_t>& tables_to_place,
+                                    uint64_t already_placed_mask);
+
+/// Eq 1 for a full order (order[0] = driving): DrivingScanCost for the
+/// driving leg plus the inner probe terms. `driving_raw_entries` is the
+/// number of index entries the driving scan touches (before residual
+/// predicates); `driving_flow` is the number of rows the driving leg feeds
+/// into the pipeline (JC(T_o(1)) = CLEG, or the *remaining* CLEG when
+/// costing a partially executed plan at a switch point).
+double PipelineCost(const CostInputs& in, const std::vector<size_t>& order,
+                    double driving_raw_entries, double driving_flow);
+
+/// True if legs `order[from..]` are in ascending-rank (greedy) order given
+/// the prefix — the Fig 2 trigger condition.
+bool IsRankOrdered(const CostInputs& in, const std::vector<size_t>& order,
+                   size_t from);
+
+}  // namespace ajr

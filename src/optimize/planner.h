@@ -1,0 +1,96 @@
+// Static planner: the compile-time optimizer the adaptive run-time starts
+// from and corrects.
+//
+// It produces ONE pipelined plan (Sec 2: "only one execution plan ... with a
+// small number of switchable single-table access plans embedded"):
+//
+//   * a driving-table choice plus a greedy ascending-rank inner order, both
+//     from uniformity/independence estimates;
+//   * per table, a pre-compiled single-table access plan for the driving
+//     role (best index by estimated selectivity, or a table scan) — these
+//     are what the run-time switches between when it reorders the driving
+//     leg;
+//   * per join edge, the probe index used when the table is an inner leg;
+//   * the optimizer's estimates (S_LPI, S_LP, S_JP), which seed the
+//     run-time monitors before any measurement exists (Sec 4.3.3).
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/range_extraction.h"
+#include "optimize/cost_model.h"
+#include "optimize/query.h"
+#include "optimize/selectivity.h"
+
+namespace ajr {
+
+/// Pre-compiled single-table access plan for the driving role.
+struct DrivingAccess {
+  /// Index to range-scan, or nullptr for a table scan.
+  const IndexInfo* index = nullptr;
+  /// Ranges the index scan covers (from the sargable local conjuncts).
+  std::vector<KeyRange> ranges;
+  /// Local conjuncts not absorbed into the ranges (null = none).
+  ExprPtr residual;
+  /// Optimizer's S_LPI: estimated fraction of entries the scan touches.
+  double est_slpi = 1.0;
+};
+
+/// All access plans for one table of the query.
+struct TableAccessPlans {
+  DrivingAccess driving;
+  /// Probe index per edge_id when this table is an inner leg probed through
+  /// that edge; nullptr entries mean fall back to a filtered table scan.
+  std::vector<const IndexInfo*> probe_index_by_edge;
+};
+
+/// The planner's output: one pipelined NLJN plan plus switchable access
+/// plans and the estimate set.
+struct PipelinePlan {
+  JoinQuery query;  ///< owned copy
+  /// Initial join order; order[0] is the driving leg. Entries are indices
+  /// into query.tables.
+  std::vector<size_t> initial_order;
+  /// Parallel to query.tables.
+  std::vector<TableAccessPlans> access;
+  /// Optimizer estimates (seed values for run-time monitors).
+  std::vector<double> est_local_sel;  ///< S_LP per table
+  std::vector<double> est_edge_sel;   ///< S_JP per edge
+  double est_cost = 0;                ///< Eq 1 cost of initial_order
+
+  /// Resolved table entries, parallel to query.tables.
+  std::vector<const TableEntry*> entries;
+
+  /// CostInputs filled with the optimizer estimates.
+  CostInputs EstimatedCostInputs() const;
+};
+
+/// Options controlling planning.
+struct PlannerOptions {
+  /// Statistics tier the optimizer consults (see selectivity.h). The
+  /// paper's Sec 5 baseline is kMinimal; kBase is a modern default.
+  StatsTier stats_tier = StatsTier::kBase;
+};
+
+/// Builds PipelinePlans from JoinQueries against a catalog.
+class Planner {
+ public:
+  explicit Planner(const Catalog* catalog, PlannerOptions options = {})
+      : catalog_(catalog), estimator_(options.stats_tier) {}
+
+  /// Plans `query` (which must Validate()). Fails if a referenced table or
+  /// column does not exist.
+  StatusOr<std::unique_ptr<PipelinePlan>> Plan(const JoinQuery& query) const;
+
+  const SelectivityEstimator& estimator() const { return estimator_; }
+
+ private:
+  const Catalog* catalog_;
+  SelectivityEstimator estimator_;
+};
+
+}  // namespace ajr

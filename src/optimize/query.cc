@@ -1,0 +1,87 @@
+#include "optimize/query.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace ajr {
+
+Status JoinQuery::Validate() const {
+  if (tables.empty()) return Status::InvalidArgument("query has no tables");
+  std::set<std::string> aliases;
+  for (const auto& t : tables) {
+    if (!aliases.insert(t.alias).second) {
+      return Status::InvalidArgument(StrCat("duplicate alias '", t.alias, "'"));
+    }
+  }
+  if (local_predicates.size() != tables.size()) {
+    return Status::InvalidArgument("local_predicates must parallel tables");
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const auto& e = edges[i];
+    if (e.left >= tables.size() || e.right >= tables.size() || e.left == e.right) {
+      return Status::InvalidArgument(StrCat("edge ", i, " references bad tables"));
+    }
+    if (e.edge_id != i) {
+      return Status::InvalidArgument(StrCat("edge ", i, " has edge_id ", e.edge_id,
+                                            "; edge_id must equal position"));
+    }
+  }
+  for (const auto& oc : output) {
+    if (oc.table >= tables.size()) {
+      return Status::InvalidArgument("output column references bad table");
+    }
+  }
+  // Connectivity check (BFS over the join graph).
+  if (tables.size() > 1) {
+    std::vector<bool> seen(tables.size(), false);
+    std::vector<size_t> frontier = {0};
+    seen[0] = true;
+    size_t reached = 1;
+    while (!frontier.empty()) {
+      size_t t = frontier.back();
+      frontier.pop_back();
+      for (const auto& e : edges) {
+        if (!e.Touches(t)) continue;
+        size_t o = e.Other(t);
+        if (!seen[o]) {
+          seen[o] = true;
+          ++reached;
+          frontier.push_back(o);
+        }
+      }
+    }
+    if (reached != tables.size()) {
+      return Status::InvalidArgument("join graph is not connected");
+    }
+  }
+  return Status::OK();
+}
+
+std::string JoinQuery::ToString() const {
+  std::vector<std::string> select_parts;
+  for (const auto& oc : output) {
+    select_parts.push_back(StrCat(tables[oc.table].alias, ".", oc.column));
+  }
+  std::vector<std::string> from_parts;
+  for (const auto& t : tables) {
+    from_parts.push_back(StrCat(t.table, " ", t.alias));
+  }
+  std::vector<std::string> where_parts;
+  for (const auto& e : edges) {
+    where_parts.push_back(StrCat(tables[e.left].alias, ".", e.left_column, " = ",
+                                 tables[e.right].alias, ".", e.right_column));
+  }
+  for (size_t i = 0; i < local_predicates.size(); ++i) {
+    if (local_predicates[i] != nullptr) {
+      // Qualify with alias for readability.
+      where_parts.push_back(
+          StrCat("[", tables[i].alias, "] ", local_predicates[i]->ToString()));
+    }
+  }
+  return StrCat("SELECT ", select_parts.empty() ? "*" : Join(select_parts, ", "),
+                " FROM ", Join(from_parts, ", "), " WHERE ",
+                Join(where_parts, " AND "));
+}
+
+}  // namespace ajr

@@ -1,0 +1,75 @@
+// JoinQuery: the select-project-join queries AJR executes.
+//
+// A query is a set of table references, binary equi-join edges between them
+// (the join graph), one local-predicate tree per table, and a projection
+// list. This mirrors the paper's setting: pipelined plans over n-way
+// equi-joins with single-table local predicates (Sec 3.1).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace ajr {
+
+/// A table occurrence in a query. `alias` must be unique per query.
+struct TableRef {
+  std::string alias;
+  std::string table;
+};
+
+/// Equi-join predicate: tables[left].left_column = tables[right].right_column.
+struct JoinEdge {
+  size_t left = 0;  ///< index into JoinQuery::tables
+  std::string left_column;
+  size_t right = 0;  ///< index into JoinQuery::tables
+  std::string right_column;
+  size_t edge_id = 0;  ///< stable identifier (position in JoinQuery::edges)
+
+  /// True if the edge touches table `t`.
+  bool Touches(size_t t) const { return left == t || right == t; }
+  /// The table on the other end of the edge from `t` (Touches(t) required).
+  size_t Other(size_t t) const { return left == t ? right : left; }
+  /// The join column on table `t`'s side (Touches(t) required).
+  const std::string& ColumnOn(size_t t) const {
+    return left == t ? left_column : right_column;
+  }
+};
+
+/// One projected output column.
+struct OutputColumn {
+  size_t table = 0;  ///< index into JoinQuery::tables
+  std::string column;
+};
+
+/// A select-project-join query.
+struct JoinQuery {
+  std::string name;  ///< label used in benchmark output (e.g. "T1/q17")
+  std::vector<TableRef> tables;
+  std::vector<JoinEdge> edges;
+  /// Parallel to `tables`; entry may be null (no local predicate).
+  std::vector<ExprPtr> local_predicates;
+  std::vector<OutputColumn> output;
+
+  /// Edges that touch `t`.
+  std::vector<const JoinEdge*> EdgesOf(size_t t) const {
+    std::vector<const JoinEdge*> out;
+    for (const auto& e : edges) {
+      if (e.Touches(t)) out.push_back(&e);
+    }
+    return out;
+  }
+
+  /// Validates shape: unique aliases, in-range edge/table indices, local
+  /// predicate arity, and a connected join graph.
+  Status Validate() const;
+
+  /// SQL-ish rendering for logs and docs.
+  std::string ToString() const;
+};
+
+}  // namespace ajr

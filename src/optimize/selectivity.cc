@@ -1,0 +1,185 @@
+#include "optimize/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ajr {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+// Fraction of [min, max] covered by `range` under the uniform assumption.
+double UniformRangeFraction(const ColumnStats& stats, const KeyRange& range) {
+  if (!stats.min.has_value() || !stats.max.has_value()) {
+    return SelectivityEstimator::kDefaultRange;
+  }
+  DataType t = stats.min->type();
+  if (t != DataType::kInt64 && t != DataType::kDouble) {
+    // Orderable but non-numeric (strings): no interpolation possible.
+    return SelectivityEstimator::kDefaultRange;
+  }
+  double lo = stats.min->AsNumeric();
+  double hi = stats.max->AsNumeric();
+  if (hi <= lo) return 1.0;
+  double a = range.lo.has_value() ? std::max(lo, range.lo->AsNumeric()) : lo;
+  double b = range.hi.has_value() ? std::min(hi, range.hi->AsNumeric()) : hi;
+  if (b < a) return 0.0;
+  return Clamp01((b - a) / (hi - lo));
+}
+
+}  // namespace
+
+double SelectivityEstimator::EstimateEquality(const TableEntry& table,
+                                              const std::string& column,
+                                              const Value& value) const {
+  if (tier_ == StatsTier::kMinimal) return kDefaultEquality;
+  const ColumnStats* stats = table.GetColumnStats(column);
+  if (stats == nullptr || stats->ndv == 0) return kDefaultEquality;
+  if (tier_ == StatsTier::kRich) {
+    size_t rows = table.StatsCardinality();
+    if (rows > 0) {
+      for (const auto& fv : stats->frequent) {
+        if (fv.value == value) {
+          return Clamp01(static_cast<double>(fv.count) / rows);
+        }
+      }
+      if (!stats->frequent.empty()) {
+        // Value is not among the top-k: spread the remaining mass uniformly
+        // over the remaining distinct values.
+        size_t freq_mass = 0;
+        for (const auto& fv : stats->frequent) freq_mass += fv.count;
+        size_t rest_ndv = stats->ndv > stats->frequent.size()
+                              ? stats->ndv - stats->frequent.size()
+                              : 1;
+        double rest = static_cast<double>(rows - std::min(freq_mass, rows)) / rows;
+        return Clamp01(rest / rest_ndv);
+      }
+    }
+  }
+  return 1.0 / static_cast<double>(stats->ndv);
+}
+
+double SelectivityEstimator::EstimateRangeOne(const TableEntry& table,
+                                              const std::string& column,
+                                              const KeyRange& range) const {
+  if (range.lo.has_value() && range.hi.has_value() &&
+      range.lo->Compare(*range.hi) == 0) {
+    return EstimateEquality(table, column, *range.lo);
+  }
+  if (tier_ == StatsTier::kMinimal) return kDefaultRange;
+  const ColumnStats* stats = table.GetColumnStats(column);
+  if (stats == nullptr) return kDefaultRange;
+  if (tier_ == StatsTier::kRich && stats->histogram.has_value()) {
+    const auto& h = *stats->histogram;
+    double hi = range.hi.has_value() ? h.EstimateFractionLe(*range.hi) : 1.0;
+    double lo = range.lo.has_value() ? h.EstimateFractionLe(*range.lo) : 0.0;
+    return Clamp01(hi - lo);
+  }
+  return UniformRangeFraction(*stats, range);
+}
+
+double SelectivityEstimator::EstimateRanges(const TableEntry& table,
+                                            const std::string& column,
+                                            const std::vector<KeyRange>& ranges) const {
+  // Ranges are disjoint (NormalizeRanges), so selectivities add.
+  double sel = 0;
+  for (const auto& r : ranges) {
+    if (!r.lo.has_value() && !r.hi.has_value()) return 1.0;
+    sel += EstimateRangeOne(table, column, r);
+  }
+  return Clamp01(sel);
+}
+
+double SelectivityEstimator::EstimateLocal(const TableEntry& table,
+                                           const ExprPtr& predicate) const {
+  if (predicate == nullptr) return 1.0;
+  switch (predicate->kind()) {
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(*predicate);
+      if (lit.value().type() == DataType::kBool) return lit.value().AsBool() ? 1.0 : 0.0;
+      return 1.0;
+    }
+    case ExprKind::kColumnRef:
+      return 1.0;
+    case ExprKind::kComparison: {
+      // Reuse range extraction to normalize the comparison, then estimate.
+      const auto& cmp = static_cast<const ComparisonExpr&>(*predicate);
+      const Expr* col = cmp.lhs().get();
+      const Expr* lit = cmp.rhs().get();
+      if (col->kind() == ExprKind::kLiteral && lit->kind() == ExprKind::kColumnRef) {
+        std::swap(col, lit);
+      }
+      if (col->kind() == ExprKind::kColumnRef && lit->kind() == ExprKind::kLiteral) {
+        const std::string& name = static_cast<const ColumnRefExpr*>(col)->name();
+        auto extraction = ExtractRanges(predicate, name);
+        if (extraction.sargable) {
+          return EstimateRanges(table, name, extraction.ranges);
+        }
+        if (cmp.op() == CompareOp::kNe) {
+          return Clamp01(1.0 - EstimateEquality(
+                                   table, name,
+                                   static_cast<const LiteralExpr*>(lit)->value()));
+        }
+      }
+      if (col->kind() == ExprKind::kColumnRef && lit->kind() == ExprKind::kColumnRef) {
+        // col = col within one table: containment-style 1/max(ndv).
+        if (tier_ == StatsTier::kMinimal) return kDefaultEquality;
+        const auto* l = table.GetColumnStats(static_cast<const ColumnRefExpr*>(col)->name());
+        const auto* r = table.GetColumnStats(static_cast<const ColumnRefExpr*>(lit)->name());
+        size_t ndv = std::max(l ? l->ndv : 0, r ? r->ndv : 0);
+        return ndv > 0 ? 1.0 / ndv : kDefaultEquality;
+      }
+      return kDefaultRange;
+    }
+    case ExprKind::kAnd: {
+      // THE independence assumption: conjuncts multiply.
+      double sel = 1.0;
+      for (const auto& c : static_cast<const LogicalExpr&>(*predicate).children()) {
+        sel *= EstimateLocal(table, c);
+      }
+      return Clamp01(sel);
+    }
+    case ExprKind::kOr: {
+      double inv = 1.0;
+      for (const auto& c : static_cast<const LogicalExpr&>(*predicate).children()) {
+        inv *= 1.0 - EstimateLocal(table, c);
+      }
+      return Clamp01(1.0 - inv);
+    }
+    case ExprKind::kNot:
+      return Clamp01(1.0 -
+                     EstimateLocal(table, static_cast<const NotExpr&>(*predicate).child()));
+    case ExprKind::kIn: {
+      const auto& in = static_cast<const InExpr&>(*predicate);
+      double sel = 0;
+      for (const auto& v : in.values()) {
+        sel += EstimateEquality(table, in.column(), v);
+      }
+      return Clamp01(sel);
+    }
+  }
+  return 1.0;
+}
+
+double SelectivityEstimator::EstimateJoin(const TableEntry& left,
+                                          const std::string& left_column,
+                                          const TableEntry& right,
+                                          const std::string& right_column) const {
+  if (tier_ == StatsTier::kMinimal) {
+    // Table sizes are the only statistic: the classical key-join heuristic
+    // takes NDV ~ cardinality on the larger side (System R's 1/max(NDV)
+    // containment rule with the only NDV bound available), so an FK join
+    // is estimated to produce ~|fact| rows rather than |fact|*|dim|*0.04.
+    size_t cap = std::max(std::max(left.StatsCardinality(), right.StatsCardinality()),
+                          size_t{1});
+    return 1.0 / static_cast<double>(cap);
+  }
+  const ColumnStats* l = left.GetColumnStats(left_column);
+  const ColumnStats* r = right.GetColumnStats(right_column);
+  size_t ndv = std::max(l ? l->ndv : 0, r ? r->ndv : 0);
+  if (ndv == 0) return kDefaultEquality;
+  return 1.0 / static_cast<double>(ndv);
+}
+
+}  // namespace ajr

@@ -1,0 +1,78 @@
+// Static selectivity estimation.
+//
+// This is the optimizer the paper's technique corrects at run-time, so it
+// deliberately implements the classical assumption set (Sec 1):
+//
+//   * uniformity  — equality selectivity = 1/NDV; range selectivity by
+//     linear interpolation over [min, max];
+//   * independence — conjunct selectivities multiply.
+//
+// Both assumptions are violated by the DMV data (skew; make->model and
+// country->city correlations), producing exactly the misestimates the
+// adaptive reorderer must recover from.
+//
+// Three statistics tiers select what the estimator may consult:
+//
+//   kMinimal — the paper's Sec 5 baseline: "the DBMS was able to estimate
+//     table cardinalities via statistics giving table sizes and average row
+//     sizes, and the data value distributions were assumed to be uniform".
+//     Only table cardinality is known; every predicate gets a default
+//     selectivity (DB2-style: 0.04 equality, 1/3 inequality).
+//   kBase — per-column NDV and min/max (a modern baseline): equality =
+//     1/NDV, ranges by uniform interpolation, independence for conjuncts.
+//   kRich — Sec 5.3's "more sophisticated statistics": frequent-value
+//     sketches and equi-depth histograms. Multi-column correlation remains
+//     invisible (the residual error behind the paper's "still up to 2x").
+
+#pragma once
+
+#include "catalog/catalog.h"
+#include "expr/expr.h"
+#include "expr/range_extraction.h"
+
+namespace ajr {
+
+/// Which statistics the optimizer may consult (see file comment).
+enum class StatsTier : uint8_t {
+  kMinimal,  ///< table sizes only (the paper's Sec 5 baseline)
+  kBase,     ///< + per-column NDV and min/max
+  kRich,     ///< + frequent values and equi-depth histograms (Sec 5.3)
+};
+
+/// Estimates predicate and join selectivities from catalog statistics.
+class SelectivityEstimator {
+ public:
+  explicit SelectivityEstimator(StatsTier tier = StatsTier::kBase) : tier_(tier) {}
+
+  /// Selectivity of a local predicate tree on `table` in [0, 1].
+  /// Null predicate = 1.0. Unknown shapes fall back to defaults.
+  double EstimateLocal(const TableEntry& table, const ExprPtr& predicate) const;
+
+  /// Selectivity of one key-range set on `column` (the S_LPI the optimizer
+  /// hands the run-time for an index scan's boundary predicates).
+  double EstimateRanges(const TableEntry& table, const std::string& column,
+                        const std::vector<KeyRange>& ranges) const;
+
+  /// Join-predicate selectivity for left.left_column = right.right_column,
+  /// using the containment assumption 1/max(NDV_l, NDV_r) (kMinimal: the
+  /// equality default).
+  double EstimateJoin(const TableEntry& left, const std::string& left_column,
+                      const TableEntry& right, const std::string& right_column) const;
+
+  StatsTier tier() const { return tier_; }
+
+  /// Default selectivities when statistics are missing or withheld
+  /// (DB2-style defaults).
+  static constexpr double kDefaultEquality = 0.04;
+  static constexpr double kDefaultRange = 1.0 / 3.0;
+
+ private:
+  double EstimateEquality(const TableEntry& table, const std::string& column,
+                          const Value& value) const;
+  double EstimateRangeOne(const TableEntry& table, const std::string& column,
+                          const KeyRange& range) const;
+
+  StatsTier tier_;
+};
+
+}  // namespace ajr

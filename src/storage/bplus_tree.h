@@ -1,0 +1,125 @@
+// BPlusTree: an in-memory B+-tree secondary index over (key, RID) pairs.
+//
+// Entries are ordered lexicographically by (key, RID), so duplicate keys are
+// supported and every scan — full, range, or point probe — yields RIDs in
+// the deterministic (key, RID) order the paper's positional predicates rely
+// on ("age > 35 OR (age = 35 AND RID > cur_RID)").
+//
+// The tree charges work units (node visits, entry scans) to an optional
+// WorkCounter so probe costs can be measured deterministically.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_counter.h"
+#include "storage/heap_table.h"
+#include "types/value.h"
+
+namespace ajr {
+
+/// One index entry: key value plus the RID of the indexed row.
+struct IndexEntry {
+  Value key;
+  Rid rid;
+
+  /// Lexicographic (key, rid) three-way compare.
+  int Compare(const IndexEntry& other) const {
+    int c = key.Compare(other.key);
+    if (c != 0) return c;
+    return rid < other.rid ? -1 : (rid > other.rid ? 1 : 0);
+  }
+  bool operator<(const IndexEntry& o) const { return Compare(o) < 0; }
+  bool operator==(const IndexEntry& o) const { return Compare(o) == 0; }
+};
+
+/// B+-tree index with leaf chaining. Keys are Values of one DataType.
+class BPlusTree {
+ public:
+  /// Creates an empty tree. `fanout` is the max entries per leaf and max
+  /// children per internal node (minimum 4).
+  explicit BPlusTree(DataType key_type, size_t fanout = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  DataType key_type() const { return key_type_; }
+  size_t size() const { return size_; }
+  /// Tree height in levels (1 = just a leaf).
+  size_t height() const { return height_; }
+
+  /// Inserts one entry. Duplicate keys allowed; duplicate (key, rid) pairs
+  /// are legal but the workload never produces them.
+  void Insert(const Value& key, Rid rid);
+
+  /// Replaces the tree contents from entries sorted by (key, rid).
+  /// InvalidArgument if the entries are not sorted.
+  Status BulkLoad(std::vector<IndexEntry> sorted_entries);
+
+  /// Forward iterator over leaf entries. Obtained from the Seek* methods;
+  /// walking past the last entry makes it invalid.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    bool Valid() const { return leaf_ != nullptr; }
+    const Value& key() const;
+    Rid rid() const;
+
+    /// Advances one entry, charging kIndexEntryScan (plus kIndexNodeVisit
+    /// when hopping to the next leaf).
+    void Next(WorkCounter* wc);
+
+   private:
+    friend class BPlusTree;
+    void* leaf_ = nullptr;  // LeafNode*
+    size_t slot_ = 0;
+  };
+
+  /// First entry of the whole tree.
+  Iterator SeekFirst(WorkCounter* wc) const;
+
+  /// First entry with key >= `key` (inclusive) or key > `key` (exclusive).
+  Iterator Seek(const Value& key, bool inclusive, WorkCounter* wc) const;
+
+  /// First entry strictly after (key, rid) — used to resume a saved cursor.
+  Iterator SeekAfter(const Value& key, Rid rid, WorkCounter* wc) const;
+
+  /// Number of entries with key strictly less than `key`. O(height) via
+  /// per-child subtree counts (the "key range cardinality" statistic
+  /// commercial indexes expose; used for remaining-scan estimates).
+  size_t CountKeyLess(const Value& key) const;
+
+  /// Number of entries with key <= `key`.
+  size_t CountKeyLessEqual(const Value& key) const;
+
+  /// Number of entries strictly after (key, rid) in (key, RID) order.
+  size_t CountEntriesAfter(const Value& key, Rid rid) const;
+
+  /// Validates structural invariants (test hook): sorted leaves, consistent
+  /// separators, uniform depth, complete leaf chain, subtree counts.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  Iterator SeekEntry(const IndexEntry& target, WorkCounter* wc) const;
+  size_t CountBefore(const IndexEntry& target) const;
+
+  DataType key_type_;
+  size_t fanout_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ajr

@@ -1,0 +1,118 @@
+#include "storage/cursors.h"
+
+#include <cassert>
+
+namespace ajr {
+
+bool TableScanCursor::Next(WorkCounter* wc, Rid* rid) {
+  ChargeWork(wc, WorkCounter::kIndexEntryScan);
+  if (next_rid_ >= table_->num_rows()) return false;
+  *rid = next_rid_++;
+  return true;
+}
+
+ScanPosition TableScanCursor::CurrentPosition() const {
+  assert(next_rid_ > 0 && "CurrentPosition before first Next");
+  return ScanPosition::AtRid(next_rid_ - 1);
+}
+
+Status TableScanCursor::ResumeFrom(const ScanPosition& pos) {
+  if (pos.order != ScanOrder::kRidOrder) {
+    return Status::InvalidArgument("TableScanCursor resume needs a RID-order position");
+  }
+  next_rid_ = pos.rid + 1;
+  return Status::OK();
+}
+
+void IndexScanCursor::Reset() {
+  started_ = false;
+  range_idx_ = 0;
+  pending_.reset();
+  last_.reset();
+  iter_ = BPlusTree::Iterator();
+}
+
+bool IndexScanCursor::BeforeRangeLo() const {
+  const KeyRange& r = ranges_[range_idx_];
+  if (!r.lo.has_value()) return false;
+  int c = iter_.key().Compare(*r.lo);
+  if (c != 0) return c < 0;
+  return !r.lo_inclusive;  // sitting exactly on an exclusive lower bound
+}
+
+bool IndexScanCursor::PastRangeHi() const {
+  const KeyRange& r = ranges_[range_idx_];
+  if (!r.hi.has_value()) return false;
+  int c = iter_.key().Compare(*r.hi);
+  if (c != 0) return c > 0;
+  return !r.hi_inclusive;
+}
+
+void IndexScanCursor::AlignToRanges(WorkCounter* wc) {
+  while (iter_.Valid() && range_idx_ < ranges_.size()) {
+    if (BeforeRangeLo()) {
+      const KeyRange& r = ranges_[range_idx_];
+      iter_ = tree_->Seek(*r.lo, r.lo_inclusive, wc);
+      continue;
+    }
+    if (PastRangeHi()) {
+      ++range_idx_;
+      continue;
+    }
+    return;  // inside the current range
+  }
+  if (range_idx_ >= ranges_.size()) iter_ = BPlusTree::Iterator();
+}
+
+bool IndexScanCursor::Next(WorkCounter* wc, Rid* rid) {
+  if (pending_.has_value()) {
+    iter_ = *pending_;
+    pending_.reset();
+  } else if (!started_) {
+    started_ = true;
+    if (ranges_.empty()) return false;
+    const KeyRange& r = ranges_.front();
+    iter_ = r.lo.has_value() ? tree_->Seek(*r.lo, r.lo_inclusive, wc)
+                             : tree_->SeekFirst(wc);
+  } else {
+    if (!iter_.Valid()) return false;
+    iter_.Next(wc);
+  }
+  AlignToRanges(wc);
+  if (!iter_.Valid()) return false;
+  *rid = iter_.rid();
+  last_ = ScanPosition::AtKeyRid(iter_.key(), iter_.rid());
+  return true;
+}
+
+ScanPosition IndexScanCursor::CurrentPosition() const {
+  assert(last_.has_value() && "CurrentPosition before first Next");
+  return *last_;
+}
+
+Status IndexScanCursor::ResumeFrom(const ScanPosition& pos) {
+  if (pos.order != ScanOrder::kKeyRidOrder) {
+    return Status::InvalidArgument(
+        "IndexScanCursor resume needs a (key,RID)-order position");
+  }
+  started_ = true;
+  range_idx_ = 0;
+  last_ = pos;
+  pending_ = tree_->SeekAfter(pos.key, pos.rid, nullptr);
+  return Status::OK();
+}
+
+void IndexProbe::Seek(const Value& key, WorkCounter* wc) {
+  key_ = key;
+  iter_ = tree_->Seek(key, /*inclusive=*/true, wc);
+}
+
+bool IndexProbe::Next(WorkCounter* wc, Rid* rid) {
+  if (!iter_.Valid()) return false;
+  if (iter_.key().Compare(key_) != 0) return false;
+  *rid = iter_.rid();
+  iter_.Next(wc);
+  return true;
+}
+
+}  // namespace ajr

@@ -1,0 +1,17 @@
+#include "storage/heap_table.h"
+
+#include "common/string_util.h"
+
+namespace ajr {
+
+StatusOr<Rid> HeapTable::Append(Row row) {
+  if (!schema_.RowMatches(row)) {
+    return Status::InvalidArgument(
+        StrCat("row does not match schema of table '", name_, "' (", schema_.ToString(),
+               ")"));
+  }
+  rows_.push_back(std::move(row));
+  return static_cast<Rid>(rows_.size() - 1);
+}
+
+}  // namespace ajr

@@ -1,0 +1,55 @@
+// HeapTable: append-only in-memory row store addressed by RID.
+//
+// RIDs are assigned in insertion order (0, 1, 2, ...), which gives the table
+// a well-defined physical scan order — the property the paper's
+// driving-table switch exploits to build positional predicates for table
+// scans ("RID > 100").
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_counter.h"
+#include "types/schema.h"
+
+namespace ajr {
+
+/// Row identifier: the slot number within a HeapTable, dense from 0.
+using Rid = uint64_t;
+
+/// Append-only in-memory table.
+class HeapTable {
+ public:
+  HeapTable(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; returns its RID. InvalidArgument if the row does not
+  /// match the schema.
+  StatusOr<Rid> Append(Row row);
+
+  /// Unchecked row access (rid must be < num_rows()).
+  const Row& Get(Rid rid) const { return rows_[rid]; }
+
+  /// Row access that charges kRowFetch work units.
+  const Row& Fetch(Rid rid, WorkCounter* wc) const {
+    ChargeWork(wc, WorkCounter::kRowFetch);
+    return rows_[rid];
+  }
+
+  /// Reserves capacity for bulk loading.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ajr

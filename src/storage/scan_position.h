@@ -1,0 +1,65 @@
+// ScanPosition: a point in a table's scan order.
+//
+// The paper's driving-table switch must remember how far the old driving
+// leg's scan had progressed so a positional predicate can exclude the
+// already-processed prefix (Sec 4.2). A position is either
+//   - a RID in physical order (table scan):        "RID > 100"
+//   - a (key, RID) pair in index order (index scan):
+//       "age > 35 OR (age = 35 AND RID > cur_RID)"
+
+#pragma once
+
+#include <string>
+
+#include "storage/heap_table.h"
+#include "types/value.h"
+
+namespace ajr {
+
+/// Scan-order kind for a position / positional predicate.
+enum class ScanOrder : uint8_t {
+  kRidOrder,     ///< physical (table scan) order
+  kKeyRidOrder,  ///< (index key, RID) order
+};
+
+/// A point in a scan order; rows strictly after it are "unprocessed".
+struct ScanPosition {
+  ScanOrder order = ScanOrder::kRidOrder;
+  Value key;  ///< meaningful only for kKeyRidOrder
+  Rid rid = 0;
+
+  static ScanPosition AtRid(Rid rid) {
+    ScanPosition p;
+    p.order = ScanOrder::kRidOrder;
+    p.rid = rid;
+    return p;
+  }
+  static ScanPosition AtKeyRid(Value key, Rid rid) {
+    ScanPosition p;
+    p.order = ScanOrder::kKeyRidOrder;
+    p.key = std::move(key);
+    p.rid = rid;
+    return p;
+  }
+
+  /// True if a row at (row_key, row_rid) lies strictly after this position
+  /// in (key, RID) order. Only valid for kKeyRidOrder.
+  bool StrictlyBefore(const Value& row_key, Rid row_rid) const {
+    int c = key.Compare(row_key);
+    if (c != 0) return c < 0;
+    return rid < row_rid;
+  }
+
+  /// True if a row at row_rid lies strictly after this position in RID
+  /// order. Only valid for kRidOrder.
+  bool StrictlyBeforeRid(Rid row_rid) const { return rid < row_rid; }
+
+  std::string ToString() const {
+    if (order == ScanOrder::kRidOrder) {
+      return "rid>" + std::to_string(rid);
+    }
+    return "(key,rid)>(" + key.ToString() + "," + std::to_string(rid) + ")";
+  }
+};
+
+}  // namespace ajr

@@ -1,0 +1,38 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace ajr {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, i);
+  }
+}
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("column '", name, "' not in schema [", ToString(), "]"));
+  }
+  return it->second;
+}
+
+bool Schema::RowMatches(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(StrCat(c.name, ":", DataTypeName(c.type)));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace ajr

@@ -1,0 +1,48 @@
+// Schema and Row: the shape and content of table tuples.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace ajr {
+
+/// A row is a flat vector of cells, positionally matched to a Schema.
+using Row = std::vector<Value>;
+
+/// A named, typed column in a table schema.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of columns with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True if `row` has the right arity and every cell matches its column type.
+  bool RowMatches(const Row& row) const;
+
+  /// "name:TYPE, name:TYPE, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace ajr

@@ -1,0 +1,102 @@
+#include "types/value.h"
+
+#include <cassert>
+
+namespace ajr {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(AsInt64());
+    case DataType::kDouble:
+      return AsDouble();
+    default:
+      assert(false && "AsNumeric on non-numeric Value");
+      return 0.0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  if (type() != other.type()) {
+    // Numeric cross-compare is the only legal mixed comparison.
+    bool numeric = (type() == DataType::kInt64 || type() == DataType::kDouble) &&
+                   (other.type() == DataType::kInt64 || other.type() == DataType::kDouble);
+    assert(numeric && "cross-type Value comparison");
+    (void)numeric;
+    double a = AsNumeric();
+    double b = other.AsNumeric();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  switch (type()) {
+    case DataType::kBool: {
+      int a = AsBool() ? 1 : 0;
+      int b = other.AsBool() ? 1 : 0;
+      return a - b;
+    }
+    case DataType::kInt64: {
+      int64_t a = AsInt64();
+      int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kDouble: {
+      double a = AsDouble();
+      double b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble:
+      return std::to_string(AsDouble());
+    case DataType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
+  size_t h = 0;
+  switch (type()) {
+    case DataType::kBool:
+      h = std::hash<bool>()(AsBool());
+      break;
+    case DataType::kInt64:
+      h = std::hash<int64_t>()(AsInt64());
+      break;
+    case DataType::kDouble:
+      h = std::hash<double>()(AsDouble());
+      break;
+    case DataType::kString:
+      h = std::hash<std::string>()(AsString());
+      break;
+  }
+  return seed ^ (h + 0x9e3779b9 + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace ajr

@@ -1,0 +1,82 @@
+// Value: the dynamically-typed cell used throughout the engine.
+//
+// AJR stores rows as vectors of Value. The engine supports four scalar types
+// (BOOL, INT64, DOUBLE, STRING); columns are NOT NULL (the DMV workload and
+// the paper's queries never need NULLs, and this keeps three-valued logic out
+// of the predicate evaluator).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace ajr {
+
+/// Scalar column type.
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// Human-readable type name ("BOOL", "INT64", ...).
+const char* DataTypeName(DataType t);
+
+/// A single typed scalar. Total order exists within a type; comparing values
+/// of different types is a programming error (checked by assert), except that
+/// INT64 and DOUBLE compare numerically.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  DataType type() const { return static_cast<DataType>(v_.index()); }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: INT64 or DOUBLE as double. Asserts on other types.
+  double AsNumeric() const;
+
+  /// Three-way comparison: negative / zero / positive. INT64 vs DOUBLE is
+  /// allowed (numeric compare); any other cross-type compare asserts.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Renders the value for debugging/benchmark output.
+  std::string ToString() const;
+
+  /// Hash consistent with operator== for same-type values.
+  size_t Hash() const;
+
+ private:
+  std::variant<bool, int64_t, double, std::string> v_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+/// std::hash adapter for Value (e.g. unordered_map<Value, ...>).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ajr

@@ -1,0 +1,495 @@
+#include "workload/dmv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace ajr {
+
+const std::vector<MakeDef>& DmvMakes() {
+  static const std::vector<MakeDef> kMakes = {
+      // Economy (tier 0)
+      {"Chevrolet", 0, 0, {"Caprice", "Impala", "Malibu", "Cavalier", "Aveo"}},
+      {"Ford", 0, 0, {"Focus", "Fiesta", "Escort", "Taurus", "Ranger"}},
+      {"Kia", 0, 2, {"Rio", "Sephia", "Sportage", "Cerato", "Picanto"}},
+      {"Hyundai", 0, 2, {"Accent", "Elantra", "Getz", "Atos", "Matrix"}},
+      {"Fiat", 0, 1, {"Punto", "Panda", "Uno", "Bravo", "Seicento"}},
+      {"Dacia", 0, 1, {"Logan", "Sandero", "Solenza", "Nova", "Duster"}},
+      // Mid-range (tier 1)
+      {"Toyota", 1, 2, {"Corolla", "Camry", "Yaris", "Avensis", "RAV4"}},
+      {"Honda", 1, 2, {"Civic", "Accord", "Jazz", "CR-V", "Prelude"}},
+      {"Mazda", 1, 2, {"323", "626", "Miata", "Demio", "Premacy"}},
+      {"Volkswagen", 1, 1, {"Golf", "Passat", "Polo", "Jetta", "Beetle"}},
+      {"Nissan", 1, 2, {"Altima", "Sentra", "Micra", "Primera", "X-Trail"}},
+      {"Peugeot", 1, 1, {"206", "307", "406", "Partner", "Expert"}},
+      {"Subaru", 1, 2, {"Impreza", "Legacy", "Forester", "Outback", "Justy"}},
+      // Luxury (tier 2)
+      {"Mercedes", 2, 1, {"C-Class", "E-Class", "S-Class", "SLK", "ML"}},
+      {"BMW", 2, 1, {"318i", "325i", "530i", "740i", "X5"}},
+      {"Audi", 2, 1, {"A3", "A4", "A6", "A8", "TT"}},
+      {"Porsche", 2, 1, {"911", "Boxster", "Cayenne", "Carrera", "Panamera"}},
+      {"Lexus", 2, 2, {"ES300", "GS400", "LS430", "RX300", "IS200"}},
+      {"Cadillac", 2, 0, {"DeVille", "Eldorado", "Seville", "Escalade", "CTS"}},
+      {"Jaguar", 2, 1, {"XJ6", "XK8", "S-Type", "X-Type", "XJR"}},
+  };
+  return kMakes;
+}
+
+const std::vector<CountryDef>& DmvCountries() {
+  static const std::vector<CountryDef> kCountries = {
+      {"US", "USA", 0, {"Augusta", "Boston", "Chicago", "Dallas", "Denver", "Seattle"}},
+      {"DE", "Germany", 1,
+       {"Berlin", "Munich", "Hamburg", "Cologne", "Frankfurt", "Stuttgart"}},
+      {"JP", "Japan", 2, {"Tokyo", "Osaka", "Nagoya", "Sapporo", "Fukuoka", "Kobe"}},
+      {"FR", "France", 1, {"Paris", "Lyon", "Marseille", "Toulouse", "Nice", "Nantes"}},
+      {"UK", "England", 1,
+       {"London", "Manchester", "Birmingham", "Leeds", "Liverpool", "Bristol"}},
+      {"CA", "Canada", 0,
+       {"Toronto", "Montreal", "Vancouver", "Ottawa", "Calgary", "Quebec"}},
+      {"IT", "Italy", 1, {"Rome", "Milan", "Naples", "Turin", "Palermo", "Genoa"}},
+      {"BR", "Brazil", 0,
+       {"SaoPaulo", "Rio", "Brasilia", "Salvador", "Fortaleza", "Recife"}},
+      {"CN", "China", 2,
+       {"Beijing", "Shanghai", "Guangzhou", "Shenzhen", "Chengdu", "Wuhan"}},
+      {"ES", "Spain", 1,
+       {"Madrid", "Barcelona", "Valencia", "Seville", "Zaragoza", "Malaga"}},
+      {"MX", "Mexico", 0,
+       {"MexicoCity", "Guadalajara", "Monterrey", "Puebla", "Tijuana", "Leon"}},
+      {"IN", "India", 2,
+       {"Mumbai", "Delhi", "Bangalore", "Chennai", "Kolkata", "Hyderabad"}},
+      {"KR", "Korea", 2, {"Seoul", "Busan", "Incheon", "Daegu", "Daejeon", "Gwangju"}},
+      {"NL", "Netherlands", 1,
+       {"Amsterdam", "Rotterdam", "TheHague", "Utrecht", "Eindhoven", "Tilburg"}},
+      {"EG", "Egypt", 1, {"Cairo", "Alexandria", "Giza", "Luxor", "Aswan", "Tanta"}},
+      {"PL", "Poland", 1, {"Warsaw", "Krakow", "Lodz", "Wroclaw", "Poznan", "Gdansk"}},
+      {"SE", "Sweden", 1,
+       {"Stockholm", "Gothenburg", "Malmo", "Uppsala", "Vasteras", "Orebro"}},
+      {"TR", "Turkey", 1, {"Istanbul", "Ankara", "Izmir", "Bursa", "Adana", "Konya"}},
+      {"CH", "Switzerland", 1,
+       {"Zurich", "Geneva", "Basel", "Bern", "Lausanne", "Winterthur"}},
+      {"AU", "Australia", 2,
+       {"Sydney", "Melbourne", "Brisbane", "Perth", "Adelaide", "Canberra"}},
+  };
+  return kCountries;
+}
+
+namespace {
+
+constexpr size_t kCitiesPerCountry = 6;
+constexpr size_t kModelsPerMake = 5;
+constexpr int kCurrentYear = 2006;
+
+// P(owner wealth tier): economy, mid, luxury.
+constexpr double kTierProbs[3] = {0.50, 0.35, 0.15};
+
+// P(make tier | owner tier).
+constexpr double kTierPref[3][3] = {
+    {0.62, 0.34, 0.04},
+    {0.22, 0.58, 0.20},
+    {0.04, 0.30, 0.66},
+};
+
+// Regional affinity multiplier [owner country region][make region]. The
+// 0.25 entry makes US makes rare in Europe (Example 1: few Chevrolets in
+// Germany).
+constexpr double kRegionAffinity[3][3] = {
+    {2.5, 0.8, 1.0},
+    {0.25, 2.5, 0.9},
+    {0.5, 0.8, 2.5},
+};
+
+// Cars-per-owner count distribution by owner tier (P(0), P(1), ...).
+const std::vector<double> kCarCountDist[3] = {
+    {0.35, 0.50, 0.13, 0.02},
+    {0.20, 0.50, 0.25, 0.05},
+    {0.08, 0.42, 0.32, 0.13, 0.05},
+};
+
+// Per-owner attributes computed during the first pass and consumed by the
+// car/demographics/accident passes.
+struct OwnerProfile {
+  size_t country_idx;
+  int tier;
+  int64_t age;
+  int64_t salary;
+};
+
+int SampleCategorical(Rng* rng, const double* probs, int n) {
+  double u = rng->NextDouble();
+  double acc = 0;
+  for (int i = 0; i < n - 1; ++i) {
+    acc += probs[i];
+    if (u < acc) return i;
+  }
+  return n - 1;
+}
+
+int SampleCounts(Rng* rng, const std::vector<double>& dist) {
+  double u = rng->NextDouble();
+  double acc = 0;
+  for (size_t i = 0; i + 1 < dist.size(); ++i) {
+    acc += dist[i];
+    if (u < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(dist.size() - 1);
+}
+
+int SamplePoisson(Rng* rng, double lambda, int cap) {
+  double l = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng->NextDouble();
+  } while (p > l && k < cap + 1);
+  return std::min(k - 1, cap);
+}
+
+int64_t SampleSalary(Rng* rng, int tier) {
+  double g = std::fabs(rng->NextGaussian());
+  double salary = 0;
+  switch (tier) {
+    case 0:
+      salary = 16000 + g * 13000;
+      break;
+    case 1:
+      salary = 42000 + g * 26000;
+      break;
+    default:
+      salary = 95000 + g * 90000;
+      break;
+  }
+  return static_cast<int64_t>(std::min(salary, 600000.0));
+}
+
+// Precomputed cumulative make weights for each (owner tier, country region).
+class MakeSampler {
+ public:
+  MakeSampler() {
+    const auto& makes = DmvMakes();
+    for (int tier = 0; tier < 3; ++tier) {
+      for (int region = 0; region < 3; ++region) {
+        auto& cdf = cdf_[tier][region];
+        cdf.resize(makes.size());
+        double acc = 0;
+        for (size_t m = 0; m < makes.size(); ++m) {
+          double w = kTierPref[tier][makes[m].tier] *
+                     kRegionAffinity[region][makes[m].region];
+          acc += w;
+          cdf[m] = acc;
+        }
+        for (auto& c : cdf) c /= acc;
+        cdf.back() = 1.0;
+      }
+    }
+  }
+
+  size_t Sample(Rng* rng, int owner_tier, int country_region) const {
+    const auto& cdf = cdf_[owner_tier][country_region];
+    double u = rng->NextDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+  }
+
+ private:
+  std::vector<double> cdf_[3][3];
+};
+
+// Scales per-owner/car target counts to an exact total by random top-up or
+// trim; keeps the shape of the sampled distribution.
+void AdjustToExactTotal(Rng* rng, std::vector<int>* counts, long long target) {
+  long long total = 0;
+  for (int c : *counts) total += c;
+  while (total < target) {
+    (*counts)[rng->NextUint64(counts->size())] += 1;
+    ++total;
+  }
+  while (total > target) {
+    size_t i = rng->NextUint64(counts->size());
+    if ((*counts)[i] > 0) {
+      (*counts)[i] -= 1;
+      --total;
+    }
+  }
+}
+
+Status BuildDmvIndexes(Catalog* catalog) {
+  struct IndexSpec {
+    const char* table;
+    const char* column;
+    const char* name;
+  };
+  const IndexSpec specs[] = {
+      {"owner", "id", "owner_id"},
+      {"owner", "country1", "owner_country1"},
+      {"owner", "country3", "owner_country3"},
+      {"owner", "city", "owner_city"},
+      {"owner", "age", "owner_age"},
+      {"car", "id", "car_id"},
+      {"car", "ownerid", "car_ownerid"},
+      {"car", "make", "car_make"},
+      {"car", "model", "car_model"},
+      {"car", "year", "car_year"},
+      {"demographics", "ownerid", "demo_ownerid"},
+      {"demographics", "salary", "demo_salary"},
+      {"demographics", "age", "demo_age"},
+      {"accidents", "id", "acc_id"},
+      {"accidents", "carid", "acc_carid"},
+      {"accidents", "year", "acc_year"},
+      {"accidents", "seriousness", "acc_seriousness"},
+      {"accidents", "locationid", "acc_locationid"},
+      {"accidents", "timeid", "acc_timeid"},
+      {"location", "id", "loc_id"},
+      {"location", "state", "loc_state"},
+      {"location", "city", "loc_city"},
+      {"time", "id", "time_id"},
+      {"time", "year", "time_year"},
+      {"time", "month", "time_month"},
+  };
+  for (const auto& s : specs) {
+    AJR_RETURN_IF_ERROR(catalog->BuildIndex(s.table, s.column, s.name));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<DmvCardinalities> GenerateDmv(Catalog* catalog, const DmvConfig& config) {
+  if (config.num_owners == 0) {
+    return Status::InvalidArgument("num_owners must be positive");
+  }
+  const auto& countries = DmvCountries();
+  const auto& makes = DmvMakes();
+
+  AJR_ASSIGN_OR_RETURN(
+      TableEntry * owner,
+      catalog->CreateTable("owner", Schema({{"id", DataType::kInt64},
+                                            {"name", DataType::kString},
+                                            {"country1", DataType::kString},
+                                            {"country3", DataType::kString},
+                                            {"city", DataType::kString},
+                                            {"age", DataType::kInt64}})));
+  AJR_ASSIGN_OR_RETURN(
+      TableEntry * car,
+      catalog->CreateTable("car", Schema({{"id", DataType::kInt64},
+                                          {"ownerid", DataType::kInt64},
+                                          {"make", DataType::kString},
+                                          {"model", DataType::kString},
+                                          {"year", DataType::kInt64},
+                                          {"color", DataType::kString}})));
+  AJR_ASSIGN_OR_RETURN(
+      TableEntry * demo,
+      catalog->CreateTable("demographics", Schema({{"ownerid", DataType::kInt64},
+                                                   {"salary", DataType::kInt64},
+                                                   {"age", DataType::kInt64},
+                                                   {"children", DataType::kInt64},
+                                                   {"education", DataType::kInt64}})));
+  AJR_ASSIGN_OR_RETURN(
+      TableEntry * acc,
+      catalog->CreateTable("accidents", Schema({{"id", DataType::kInt64},
+                                                {"carid", DataType::kInt64},
+                                                {"driver", DataType::kString},
+                                                {"year", DataType::kInt64},
+                                                {"seriousness", DataType::kInt64},
+                                                {"locationid", DataType::kInt64},
+                                                {"timeid", DataType::kInt64}})));
+  AJR_ASSIGN_OR_RETURN(
+      TableEntry * loc,
+      catalog->CreateTable("location", Schema({{"id", DataType::kInt64},
+                                               {"city", DataType::kString},
+                                               {"state", DataType::kString},
+                                               {"highway", DataType::kInt64}})));
+  AJR_ASSIGN_OR_RETURN(
+      TableEntry * time,
+      catalog->CreateTable("time", Schema({{"id", DataType::kInt64},
+                                           {"year", DataType::kInt64},
+                                           {"month", DataType::kInt64},
+                                           {"day", DataType::kInt64}})));
+
+  Rng master(config.seed);
+  Rng owner_rng = master.Fork(1);
+  Rng car_rng = master.Fork(2);
+  Rng acc_rng = master.Fork(3);
+  Rng loc_rng = master.Fork(4);
+
+  ZipfDistribution country_zipf(countries.size(), 1.0);
+  ZipfDistribution city_zipf(kCitiesPerCountry, 0.9);
+  ZipfDistribution model_zipf(kModelsPerMake, 1.1);
+  ZipfDistribution color_zipf(8, 0.8);
+  ZipfDistribution children_zipf(5, 1.2);
+  ZipfDistribution seriousness_zipf(5, 1.2);
+  ZipfDistribution location_zipf(config.num_locations, 0.9);
+  ZipfDistribution time_zipf(config.num_time_rows, 0.7);
+  const char* colors[8] = {"black", "white",  "silver", "blue",
+                           "red",   "green",  "gray",   "yellow"};
+
+  // ---- Pass 1: owners + demographics -------------------------------------
+  std::vector<OwnerProfile> profiles(config.num_owners);
+  owner->table().Reserve(config.num_owners);
+  demo->table().Reserve(config.num_owners);
+  for (size_t i = 0; i < config.num_owners; ++i) {
+    OwnerProfile& p = profiles[i];
+    p.country_idx = country_zipf.Sample(&owner_rng);
+    size_t city_idx = city_zipf.Sample(&owner_rng);
+    // country1 (origin) mostly equals the residence country: the functional
+    // city->country3 dependency stays exact, country1 is merely correlated.
+    size_t origin_idx = owner_rng.NextBool(0.8) ? p.country_idx
+                                                : country_zipf.Sample(&owner_rng);
+    p.tier = SampleCategorical(&owner_rng, kTierProbs, 3);
+    p.age = 18 + static_cast<int64_t>(62 * std::pow(owner_rng.NextDouble(), 1.4));
+    p.salary = SampleSalary(&owner_rng, p.tier);
+
+    const CountryDef& residence = countries[p.country_idx];
+    AJR_RETURN_IF_ERROR(owner->table()
+                            .Append({Value(static_cast<int64_t>(i)),
+                                     Value(StrCat("owner_", i)),
+                                     Value(countries[origin_idx].name),
+                                     Value(residence.iso),
+                                     Value(residence.cities[city_idx]),
+                                     Value(p.age)})
+                            .status());
+    AJR_RETURN_IF_ERROR(
+        demo->table()
+            .Append({Value(static_cast<int64_t>(i)), Value(p.salary), Value(p.age),
+                     Value(static_cast<int64_t>(children_zipf.Sample(&owner_rng))),
+                     Value(owner_rng.NextInt64(0, 4))})
+            .status());
+  }
+
+  // ---- Pass 2: cars -------------------------------------------------------
+  std::vector<int> car_counts(config.num_owners);
+  for (size_t i = 0; i < config.num_owners; ++i) {
+    car_counts[i] = SampleCounts(&car_rng, kCarCountDist[profiles[i].tier]);
+  }
+  // The +1e-6 guards against the ratio's binary representation landing an
+  // exact-half target just below .5 (e.g. 10000 * 2.79125).
+  const long long car_target = std::llround(
+      static_cast<double>(config.num_owners) * config.cars_per_owner + 1e-6);
+  AdjustToExactTotal(&car_rng, &car_counts, car_target);
+
+  MakeSampler make_sampler;
+  struct CarProfile {
+    size_t owner;
+    size_t make_idx;
+    int64_t year;
+  };
+  std::vector<CarProfile> car_profiles;
+  car_profiles.reserve(static_cast<size_t>(car_target));
+  car->table().Reserve(static_cast<size_t>(car_target));
+  int64_t car_id = 0;
+  for (size_t i = 0; i < config.num_owners; ++i) {
+    const OwnerProfile& p = profiles[i];
+    int region = countries[p.country_idx].region;
+    for (int k = 0; k < car_counts[i]; ++k) {
+      size_t make_idx = make_sampler.Sample(&car_rng, p.tier, region);
+      const MakeDef& make = makes[make_idx];
+      size_t model_idx = model_zipf.Sample(&car_rng);
+      double age_exp = make.tier == 2 ? 1.8 : 1.1;
+      int64_t year = kCurrentYear - static_cast<int64_t>(
+                                        22 * std::pow(car_rng.NextDouble(), age_exp));
+      AJR_RETURN_IF_ERROR(
+          car->table()
+              .Append({Value(car_id), Value(static_cast<int64_t>(i)),
+                       Value(make.name), Value(make.models[model_idx]), Value(year),
+                       Value(colors[color_zipf.Sample(&car_rng)])})
+              .status());
+      car_profiles.push_back({i, make_idx, year});
+      ++car_id;
+    }
+  }
+
+  // ---- Pass 3: location + time dimensions --------------------------------
+  for (size_t i = 0; i < config.num_locations; ++i) {
+    size_t ci = country_zipf.Sample(&loc_rng);
+    size_t city_idx = city_zipf.Sample(&loc_rng);
+    AJR_RETURN_IF_ERROR(loc->table()
+                            .Append({Value(static_cast<int64_t>(i)),
+                                     Value(countries[ci].cities[city_idx]),
+                                     Value(StrCat("state_", loc_rng.NextInt64(0, 49))),
+                                     Value(loc_rng.NextBool(0.3) ? int64_t{1}
+                                                                 : int64_t{0})})
+                            .status());
+  }
+  {
+    static const int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+    int64_t year = 1997, month = 1, day = 1;
+    for (size_t i = 0; i < config.num_time_rows; ++i) {
+      AJR_RETURN_IF_ERROR(time->table()
+                              .Append({Value(static_cast<int64_t>(i)), Value(year),
+                                       Value(month), Value(day)})
+                              .status());
+      int dim = kDaysInMonth[month - 1];
+      if (month == 2 && (year % 4 == 0 && (year % 100 != 0 || year % 400 == 0))) {
+        dim = 29;
+      }
+      if (++day > dim) {
+        day = 1;
+        if (++month > 12) {
+          month = 1;
+          ++year;
+        }
+      }
+    }
+  }
+
+  // ---- Pass 4: accidents --------------------------------------------------
+  const long long acc_target = std::llround(
+      static_cast<double>(config.num_owners) * config.accidents_per_owner + 1e-6);
+  std::vector<int> acc_counts(car_profiles.size());
+  if (!car_profiles.empty()) {
+    const double tier_factor[3] = {1.25, 1.0, 0.65};
+    for (size_t c = 0; c < car_profiles.size(); ++c) {
+      const CarProfile& cp = car_profiles[c];
+      double age_factor = 0.4 + 0.12 * static_cast<double>(kCurrentYear - cp.year);
+      double lambda = 1.55 * age_factor * tier_factor[makes[cp.make_idx].tier];
+      acc_counts[c] = SamplePoisson(&acc_rng, lambda, 30);
+    }
+    AdjustToExactTotal(&acc_rng, &acc_counts, acc_target);
+  }
+  acc->table().Reserve(static_cast<size_t>(acc_target));
+  int64_t acc_id = 0;
+  for (size_t c = 0; c < car_profiles.size(); ++c) {
+    const CarProfile& cp = car_profiles[c];
+    for (int k = 0; k < acc_counts[c]; ++k) {
+      // Favor recent dates: invert the zipf head onto the latest time rows.
+      size_t timeid = config.num_time_rows - 1 - time_zipf.Sample(&acc_rng);
+      int64_t year = time->table().Get(timeid)[1].AsInt64();
+      std::string driver = acc_rng.NextBool(0.8)
+                               ? StrCat("owner_", cp.owner)
+                               : StrCat("driver_", acc_rng.NextInt64(0, 99999));
+      AJR_RETURN_IF_ERROR(
+          acc->table()
+              .Append({Value(acc_id), Value(static_cast<int64_t>(c)), Value(driver),
+                       Value(year),
+                       Value(static_cast<int64_t>(
+                           1 + seriousness_zipf.Sample(&acc_rng))),
+                       Value(static_cast<int64_t>(location_zipf.Sample(&acc_rng))),
+                       Value(static_cast<int64_t>(timeid))})
+              .status());
+      ++acc_id;
+    }
+  }
+
+  if (config.build_indexes) {
+    AJR_RETURN_IF_ERROR(BuildDmvIndexes(catalog));
+  }
+  if (config.analyze) {
+    AnalyzeOptions opts;
+    opts.rich = config.rich_stats;
+    AJR_RETURN_IF_ERROR(catalog->AnalyzeAll(opts));
+  }
+
+  DmvCardinalities cards;
+  cards.owner = owner->table().num_rows();
+  cards.car = car->table().num_rows();
+  cards.demographics = demo->table().num_rows();
+  cards.accidents = acc->table().num_rows();
+  cards.location = loc->table().num_rows();
+  cards.time = time->table().num_rows();
+  return cards;
+}
+
+}  // namespace ajr

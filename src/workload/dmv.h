@@ -1,0 +1,86 @@
+// Synthetic DMV data set (Sec 5 of the paper).
+//
+// The paper evaluates on IBM's DMV data set — cars, owners, demographics,
+// and accidents "with data skews and correlations among columns", extended
+// with Location and Time tables for the six-table experiment (Sec 5.5).
+// That data set is proprietary, so this generator synthesizes a stand-in
+// engineered to exhibit the properties the paper's effects depend on:
+//
+//  * Zipf skew on country, city, make, model, color, accident locations.
+//  * model -> make functional dependency (Example 2: '323' implies Mazda,
+//    so independence underestimates combined selectivity ~13x).
+//  * city -> country3 functional dependency (Example 2: Cairo implies EG).
+//  * Wealth coupling: owners are drawn from wealth tiers; tier drives both
+//    salary AND the make tier of their cars, so "salary < 50000" is highly
+//    selective for Mercedes owners and barely selective for Chevrolet
+//    owners (Example 1's value-dependent best join order).
+//  * Regional make affinity: European makes dominate in European countries,
+//    US makes in the Americas (Example 1: few Chevrolets in Germany).
+//  * Accident rates rise with car age and fall with make tier, giving the
+//    Accidents join skewed per-car fan-out.
+//
+// Cardinalities reproduce Table 1 exactly at the default scale
+// (100,000 owners): Car 111,676, Demographics 100,000, Accidents 279,125.
+// Other scales keep the same ratios.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace ajr {
+
+/// Generator parameters. Defaults reproduce the paper's Table 1.
+struct DmvConfig {
+  size_t num_owners = 100000;
+  uint64_t seed = 20070415;  ///< any fixed seed; equal seeds = equal data
+  /// Cars per owner; 1.11676 reproduces Car = 111,676 at 100K owners.
+  double cars_per_owner = 1.11676;
+  /// Accidents per owner; 2.79125 reproduces Accidents = 279,125 at 100K.
+  double accidents_per_owner = 2.79125;
+  size_t num_locations = 5000;
+  size_t num_time_rows = 3652;  ///< daily rows, 1997-01-01 .. 2006-12-31
+  bool build_indexes = true;
+  bool analyze = true;      ///< compute base statistics after load
+  bool rich_stats = false;  ///< compute the Sec 5.3 rich statistics tier
+};
+
+/// Row counts produced by GenerateDmv (the Table 1 reproduction).
+struct DmvCardinalities {
+  size_t owner = 0;
+  size_t car = 0;
+  size_t demographics = 0;
+  size_t accidents = 0;
+  size_t location = 0;
+  size_t time = 0;
+};
+
+/// Static description of a car make in the generator's universe.
+struct MakeDef {
+  const char* name;
+  int tier;    ///< 0 economy, 1 mid, 2 luxury
+  int region;  ///< 0 Americas, 1 Europe, 2 Asia
+  const char* models[5];
+};
+
+/// The generator's make universe (model names are unique across makes).
+const std::vector<MakeDef>& DmvMakes();
+
+/// Country codes (country3), full names (country1), and per-country cities.
+struct CountryDef {
+  const char* iso;   ///< country3 value
+  const char* name;  ///< country1 value
+  int region;        ///< matches MakeDef::region
+  const char* cities[6];
+};
+const std::vector<CountryDef>& DmvCountries();
+
+/// Populates `catalog` with the six DMV tables, indexes, and statistics.
+/// Tables created: owner, car, demographics, accidents, location, time.
+StatusOr<DmvCardinalities> GenerateDmv(Catalog* catalog, const DmvConfig& config = {});
+
+}  // namespace ajr

@@ -1,0 +1,132 @@
+#include "adaptive/controller.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+// Star query: T0 hub joined to T1, T2, T3.
+JoinQuery StarQuery() {
+  JoinQuery q;
+  q.tables = {{"t0", "T0"}, {"t1", "T1"}, {"t2", "T2"}, {"t3", "T3"}};
+  q.edges = {{0, "k", 1, "k", 0}, {0, "k", 2, "k", 1}, {0, "k", 3, "k", 2}};
+  q.local_predicates.assign(4, nullptr);
+  return q;
+}
+
+CostInputs MakeInputs(const JoinQuery* q, std::vector<double> card,
+                      std::vector<double> edge_sel) {
+  CostInputs in;
+  in.query = q;
+  in.tables.resize(card.size());
+  for (size_t i = 0; i < card.size(); ++i) {
+    in.tables[i].cardinality = card[i];
+    in.tables[i].local_sel = 1.0;
+    in.tables[i].index_height = 2;
+  }
+  in.edge_sel = std::move(edge_sel);
+  return in;
+}
+
+TEST(CheckInnerReorderTest, NoChangeWhenAlreadyOrdered) {
+  JoinQuery q = StarQuery();
+  // JC once T0 placed: T1 = 0.1, T2 = 1, T3 = 10.
+  auto in = MakeInputs(&q, {10, 1000, 1000, 1000}, {0.0001, 0.001, 0.01});
+  EXPECT_FALSE(CheckInnerReorder(in, {0, 1, 2, 3}, 1).has_value());
+}
+
+TEST(CheckInnerReorderTest, ReordersMisorderedTail) {
+  JoinQuery q = StarQuery();
+  auto in = MakeInputs(&q, {10, 1000, 1000, 1000}, {0.0001, 0.001, 0.01});
+  auto tail = CheckInnerReorder(in, {0, 3, 2, 1}, 1);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(CheckInnerReorderTest, OnlySegmentTailIsTouched) {
+  JoinQuery q = StarQuery();
+  auto in = MakeInputs(&q, {10, 1000, 1000, 1000}, {0.0001, 0.001, 0.01});
+  // From position 2, only {2, 1} can be permuted; ideal is {1, 2}.
+  auto tail = CheckInnerReorder(in, {0, 3, 2, 1}, 2);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(*tail, (std::vector<size_t>{1, 2}));
+}
+
+TEST(CheckInnerReorderTest, SingleLegTailIsNoop) {
+  JoinQuery q = StarQuery();
+  auto in = MakeInputs(&q, {10, 1000, 1000, 1000}, {0.0001, 0.001, 0.01});
+  EXPECT_FALSE(CheckInnerReorder(in, {0, 1, 2, 3}, 3).has_value());
+  EXPECT_FALSE(CheckInnerReorder(in, {0, 1, 2, 3}, 4).has_value());
+}
+
+class DrivingSwitchTest : public ::testing::Test {
+ protected:
+  DrivingSwitchTest() : q_(StarQuery()) {
+    in_ = MakeInputs(&q_, {1000, 1000, 1000, 1000}, {0.001, 0.001, 0.001});
+  }
+
+  std::vector<DrivingCandidate> Candidates(std::vector<double> raw,
+                                           std::vector<double> flow) {
+    std::vector<DrivingCandidate> out(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      out[i] = {i, raw[i], flow[i]};
+    }
+    return out;
+  }
+
+  JoinQuery q_;
+  CostInputs in_;
+  AdaptiveOptions options_;
+};
+
+TEST_F(DrivingSwitchTest, SwitchesToMuchCheaperCandidate) {
+  // Current driving leg T0 has 100k rows left; T1 would only feed 10.
+  auto candidates =
+      Candidates({100000, 10, 50000, 50000}, {100000, 10, 50000, 50000});
+  auto decision = CheckDrivingSwitch(in_, {0, 1, 2, 3}, candidates, options_);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->new_order[0], 1u);
+  EXPECT_EQ(decision->new_order.size(), 4u);
+  EXPECT_LT(decision->est_best, decision->est_current);
+  // New order is a permutation.
+  std::vector<size_t> sorted = decision->new_order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST_F(DrivingSwitchTest, StaysWhenCurrentIsBest) {
+  auto candidates = Candidates({10, 100000, 50000, 50000}, {10, 100000, 50000, 50000});
+  EXPECT_FALSE(CheckDrivingSwitch(in_, {0, 1, 2, 3}, candidates, options_).has_value());
+}
+
+TEST_F(DrivingSwitchTest, ThresholdSuppressesMarginalSwitches) {
+  // T1 is only ~5% cheaper: below the 1.15x default threshold.
+  auto candidates =
+      Candidates({10000, 9500, 50000, 50000}, {10000, 9500, 50000, 50000});
+  AdaptiveOptions strict;
+  strict.switch_benefit_threshold = 1.15;
+  EXPECT_FALSE(CheckDrivingSwitch(in_, {0, 1, 2, 3}, candidates, strict).has_value());
+  // With no hysteresis (threshold 1.0, the paper's behaviour) it switches.
+  AdaptiveOptions loose;
+  loose.switch_benefit_threshold = 1.0;
+  auto decision = CheckDrivingSwitch(in_, {0, 1, 2, 3}, candidates, loose);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->new_order[0], 1u);
+}
+
+TEST_F(DrivingSwitchTest, CandidateInnersAreRankOrdered) {
+  // Make T3 highly filtering so it should come right after the new driving
+  // leg T1 (T0 must come first among inners for connectivity: the star hub).
+  in_.edge_sel = {0.001, 0.001, 0.00001};
+  auto candidates = Candidates({100000, 10, 500, 500}, {100000, 10, 500, 500});
+  auto decision = CheckDrivingSwitch(in_, {0, 1, 2, 3}, candidates, options_);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->new_order[0], 1u);
+  // T0 is the only table connected to T1 -> forced second.
+  EXPECT_EQ(decision->new_order[1], 0u);
+  // Then T3 (rank far below T2).
+  EXPECT_EQ(decision->new_order[2], 3u);
+}
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,128 @@
+#include "adaptive/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+TEST(RatioWindowTest, EmptyUsesFallback) {
+  RatioWindow w(10);
+  EXPECT_DOUBLE_EQ(w.Estimate(0.25), 0.25);
+  EXPECT_EQ(w.count(), 0u);
+}
+
+TEST(RatioWindowTest, SimpleMeanOverWindow) {
+  RatioWindow w(10);
+  w.Record(1, 2);
+  w.Record(3, 2);
+  EXPECT_DOUBLE_EQ(w.Estimate(0), 1.0);  // (1+3)/(2+2)
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_DOUBLE_EQ(w.denominator_sum(), 4.0);
+}
+
+TEST(RatioWindowTest, EvictsBeyondCapacity) {
+  RatioWindow w(3);
+  w.Record(0, 1);
+  w.Record(0, 1);
+  w.Record(0, 1);
+  w.Record(9, 1);  // evicts the first 0/1
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_DOUBLE_EQ(w.Estimate(0), 3.0);  // (0+0+9)/3
+}
+
+TEST(RatioWindowTest, WindowForgetsOldRegime) {
+  // First 100 observations say 1.0, next 100 say 0.0; window of 50 only
+  // remembers the new regime.
+  RatioWindow w(50);
+  for (int i = 0; i < 100; ++i) w.Record(1, 1);
+  for (int i = 0; i < 100; ++i) w.Record(0, 1);
+  EXPECT_DOUBLE_EQ(w.Estimate(0.5), 0.0);
+}
+
+TEST(RatioWindowTest, WeightedFavorsRecent) {
+  RatioWindow simple(100, AveragingMode::kSimple);
+  RatioWindow weighted(100, AveragingMode::kWeighted);
+  for (int i = 0; i < 50; ++i) {
+    simple.Record(1, 1);
+    weighted.Record(1, 1);
+  }
+  for (int i = 0; i < 50; ++i) {
+    simple.Record(0, 1);
+    weighted.Record(0, 1);
+  }
+  // Both see 50/50, but the weighted estimate leans toward the recent 0s
+  // (EWMA with alpha = 2/(w+1) over 50 zeros: (1-alpha)^50 ~ 0.37).
+  EXPECT_DOUBLE_EQ(simple.Estimate(1), 0.5);
+  EXPECT_LT(weighted.Estimate(1), 0.45);
+}
+
+TEST(RatioWindowTest, ResetClears) {
+  RatioWindow w(10);
+  w.Record(5, 10);
+  w.Reset();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.Estimate(0.7), 0.7);
+}
+
+TEST(LegMonitorTest, EstimatesJcLocalSelPc) {
+  LegMonitor m(100, AveragingMode::kSimple);
+  EXPECT_FALSE(m.has_data());
+  EXPECT_DOUBLE_EQ(m.Jc(2.5), 2.5);  // fallback
+  // 3 incoming rows: 4,2,0 rows survive edges; 2,1,0 survive local preds.
+  m.RecordIncomingRow(4, 2, 100);
+  m.RecordIncomingRow(2, 1, 60);
+  m.RecordIncomingRow(0, 0, 20);
+  EXPECT_TRUE(m.has_data());
+  EXPECT_DOUBLE_EQ(m.Jc(0), 1.0);  // (2+1+0)/3
+  // LocalSel is Laplace-smoothed toward the fallback with 8 pseudo-samples:
+  // raw 3/6 becomes (3 + fb*8) / (6 + 8).
+  EXPECT_DOUBLE_EQ(m.LocalSel(0), 3.0 / 14);
+  EXPECT_DOUBLE_EQ(m.LocalSel(0.5), 0.5);  // smoothing toward 0.5 is neutral
+  EXPECT_DOUBLE_EQ(m.Pc(0), 60.0);         // 180/3
+  EXPECT_EQ(m.incoming_total(), 3u);
+}
+
+TEST(DrivingMonitorTest, ResidualSelectivity) {
+  DrivingMonitor m(100, AveragingMode::kSimple);
+  EXPECT_DOUBLE_EQ(m.ResidualSel(0.8), 0.8);
+  for (int i = 0; i < 10; ++i) m.RecordScannedEntry(i % 4 == 0);
+  EXPECT_EQ(m.scanned_total(), 10u);
+  EXPECT_EQ(m.produced_total(), 3u);
+  EXPECT_DOUBLE_EQ(m.ResidualSel(0), 0.3);
+}
+
+TEST(EdgeMonitorTest, SelectivityWithMinPairs) {
+  EdgeMonitor m(100, AveragingMode::kSimple);
+  EXPECT_DOUBLE_EQ(m.Selectivity(0.01, 8), 0.01);  // no data -> fallback
+  m.Record(4, 2);  // 4 candidate pairs, 2 matches
+  // Below the min-pairs threshold, keep the optimizer estimate.
+  EXPECT_DOUBLE_EQ(m.Selectivity(0.01, 8), 0.01);
+  m.Record(6, 1);
+  // 10 pairs >= 8 -> trust the (smoothed) measurement. Two pseudo-probes of
+  // average mass 5 at the 0.01 fallback rate blend in:
+  // (3 + 0.01*10) / (10 + 10) = 0.155.
+  EXPECT_DOUBLE_EQ(m.Selectivity(0.01, 8), 0.155);
+  // With much more evidence, the measured ratio dominates.
+  for (int i = 0; i < 100; ++i) m.Record(6, 1);
+  EXPECT_NEAR(m.Selectivity(0.01, 8), 1.0 / 6, 0.01);
+  EXPECT_TRUE(m.has_data());
+}
+
+class WindowSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WindowSizeSweep, CapacityIsRespected) {
+  RatioWindow w(GetParam());
+  for (int i = 0; i < 5000; ++i) w.Record(1, 1);
+  // Batching rounds the retained span up to whole batches (batch size is
+  // ~capacity/32), so the window may hold slightly more than `capacity`
+  // raw observations but never less, and never more than two extra batches.
+  size_t batch = GetParam() <= 32 ? 1 : GetParam() / 32;
+  EXPECT_GE(w.count(), GetParam());
+  EXPECT_LE(w.count(), GetParam() + 2 * batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WindowSizeSweep,
+                         ::testing::Values(1u, 10u, 100u, 500u, 1000u));
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,147 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace ajr {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInt64Inclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt64(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng a(5), b(5);
+  Rng fa = a.Fork(1), fb = b.Fork(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(fa.Next64(), fb.Next64());
+  }
+  Rng c(5);
+  Rng fc = c.Fork(2);
+  Rng d(5);
+  Rng fd = d.Fork(1);
+  EXPECT_NE(fc.Next64(), fd.Next64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be equal
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfDistribution z(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.Pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(1000, 1.1);
+  double sum = 0;
+  for (size_t k = 0; k < z.n(); ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewFavorsHead) {
+  ZipfDistribution z(100, 1.0);
+  Rng rng(31);
+  std::map<size_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(&rng)]++;
+  // Head item should receive close to its PMF share.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.Pmf(0), 0.01);
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(ZipfTest, SampleWithinDomain) {
+  ZipfDistribution z(5, 2.0);
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Sample(&rng), 5u);
+  }
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeadProbabilityMonotoneInExponent) {
+  double s = GetParam();
+  ZipfDistribution lo(50, s);
+  ZipfDistribution hi(50, s + 0.5);
+  EXPECT_LT(lo.Pmf(0), hi.Pmf(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace ajr

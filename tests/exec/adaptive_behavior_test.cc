@@ -1,0 +1,202 @@
+// Behavioural tests for the adaptive machinery: these assert that the
+// interesting events actually HAPPEN (so the oracle-equality property tests
+// are not vacuously passing on never-switching plans) and that the
+// positional-predicate machinery survives them.
+
+#include <gtest/gtest.h>
+
+#include "exec/pipeline_executor.h"
+#include "exec/reference_executor.h"
+#include "workload/dmv.h"
+#include "workload/templates.h"
+
+namespace ajr {
+namespace {
+
+class AdaptiveBehaviorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    DmvConfig config;
+    config.num_owners = 3000;
+    ASSERT_TRUE(GenerateDmv(catalog_, config).ok());
+    // The paper's baseline: minimal statistics, so initial plans carry the
+    // misestimates that make the run-time switch.
+    planner_ = new Planner(catalog_, PlannerOptions{StatsTier::kMinimal});
+  }
+  static void TearDownTestSuite() {
+    delete planner_;
+    delete catalog_;
+    catalog_ = nullptr;
+    planner_ = nullptr;
+  }
+
+  static ExecStats RunAdaptive(const JoinQuery& q, AdaptiveOptions options,
+                               std::vector<Row>* rows_out = nullptr) {
+    auto plan = planner_->Plan(q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    PipelineExecutor exec(plan->get(), options);
+    std::vector<Row> rows;
+    auto stats = exec.Execute([&rows](const Row& r) { rows.push_back(r); });
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    SortRows(&rows);
+    if (rows_out != nullptr) *rows_out = std::move(rows);
+    return stats.ok() ? *stats : ExecStats{};
+  }
+
+  static std::vector<Row> Reference(const JoinQuery& q) {
+    auto rows = ExecuteReference(*catalog_, q);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    std::vector<Row> out = rows.ok() ? *rows : std::vector<Row>{};
+    SortRows(&out);
+    return out;
+  }
+
+  static AdaptiveOptions Strict() {
+    AdaptiveOptions o;
+    o.check_backoff = false;
+    o.inner_benefit_epsilon = 0.0;
+    o.switch_benefit_threshold = 1.0;
+    o.min_edge_pairs = 1.0;
+    o.min_leg_samples = 4;
+    return o;
+  }
+
+  static Catalog* catalog_;
+  static Planner* planner_;
+};
+
+Catalog* AdaptiveBehaviorTest::catalog_ = nullptr;
+Planner* AdaptiveBehaviorTest::planner_ = nullptr;
+
+TEST_F(AdaptiveBehaviorTest, DrivingSwitchesActuallyOccurAcrossTheMix) {
+  // If no template ever switched, the oracle-equality sweeps would prove
+  // nothing about driving-switch correctness.
+  DmvQueryGenerator gen(catalog_);
+  uint64_t switches = 0, reorders = 0;
+  for (int t = 1; t <= kNumFourTableTemplates; ++t) {
+    for (size_t v = 0; v < 6; ++v) {
+      auto q = gen.Generate(t, v);
+      ASSERT_TRUE(q.ok());
+      ExecStats stats = RunAdaptive(*q, Strict());
+      switches += stats.driving_switches;
+      reorders += stats.inner_reorders;
+    }
+  }
+  EXPECT_GT(switches, 5u);
+  EXPECT_GT(reorders, 0u);
+}
+
+TEST_F(AdaptiveBehaviorTest, RepromotionResumesSavedCursorWithoutDuplicates) {
+  // T2/q1 under this seed switches o -> c and later back c -> o: the second
+  // promotion must resume o's saved cursor (its processed prefix stays
+  // excluded), and the result multiset must be exact.
+  DmvQueryGenerator gen(catalog_, /*seed=*/20070415);
+  auto q = gen.Generate(2, 1);
+  ASSERT_TRUE(q.ok());
+  std::vector<Row> rows;
+  ExecStats stats = RunAdaptive(*q, AdaptiveOptions{}, &rows);
+  ASSERT_GE(stats.driving_switches, 2u) << "expected a switch and a switch-back";
+  // The event log must show two different promotions.
+  bool saw_away = false, saw_back = false;
+  for (const auto& event : stats.events) {
+    if (event.find("o -> c") != std::string::npos) saw_away = true;
+    if (event.find("c -> o") != std::string::npos) saw_back = true;
+  }
+  EXPECT_TRUE(saw_away);
+  EXPECT_TRUE(saw_back);
+  EXPECT_EQ(rows, Reference(*q));
+}
+
+TEST_F(AdaptiveBehaviorTest, SwitchedQueriesStillExactUnderPaperStrictSettings) {
+  DmvQueryGenerator gen(catalog_);
+  for (int t = 1; t <= kNumFourTableTemplates; ++t) {
+    for (size_t v = 0; v < 4; ++v) {
+      auto q = gen.Generate(t, v);
+      ASSERT_TRUE(q.ok());
+      std::vector<Row> rows;
+      RunAdaptive(*q, Strict(), &rows);
+      EXPECT_EQ(rows, Reference(*q)) << q->name;
+    }
+  }
+}
+
+TEST_F(AdaptiveBehaviorTest, EventLogDescribesEveryMove) {
+  DmvQueryGenerator gen(catalog_);
+  auto q = gen.Generate(2, 1);
+  ASSERT_TRUE(q.ok());
+  ExecStats stats = RunAdaptive(*q, Strict());
+  EXPECT_EQ(stats.events.size(), stats.order_switches());
+  for (const auto& event : stats.events) {
+    EXPECT_TRUE(event.find("driving switch") != std::string::npos ||
+                event.find("inner reorder") != std::string::npos)
+        << event;
+  }
+}
+
+TEST_F(AdaptiveBehaviorTest, BackoffReducesChecksButKeepsCorrectness) {
+  DmvQueryGenerator gen(catalog_);
+  auto q = gen.Generate(3, 0);
+  ASSERT_TRUE(q.ok());
+  AdaptiveOptions with_backoff;  // default: backoff on
+  AdaptiveOptions without = with_backoff;
+  without.check_backoff = false;
+  std::vector<Row> rows_a, rows_b;
+  ExecStats a = RunAdaptive(*q, with_backoff, &rows_a);
+  ExecStats b = RunAdaptive(*q, without, &rows_b);
+  EXPECT_EQ(rows_a, rows_b);
+  EXPECT_LE(a.inner_checks + a.driving_checks, b.inner_checks + b.driving_checks);
+}
+
+TEST_F(AdaptiveBehaviorTest, MeasuredWorkNeverBlowsUpRelativeToStatic) {
+  // Adaptation may add bounded overhead but must not multiply the work: a
+  // regression here means a reorder broke duplicate prevention or probing.
+  DmvQueryGenerator gen(catalog_);
+  for (int t = 1; t <= kNumFourTableTemplates; ++t) {
+    auto q = gen.Generate(t, 2);
+    ASSERT_TRUE(q.ok());
+    AdaptiveOptions off;
+    off.reorder_inners = false;
+    off.reorder_driving = false;
+    ExecStats base = RunAdaptive(*q, off);
+    ExecStats adaptive = RunAdaptive(*q, AdaptiveOptions{});
+    EXPECT_LT(adaptive.work_units, base.work_units * 2 + 10000) << q->name;
+  }
+}
+
+TEST_F(AdaptiveBehaviorTest, FallbackScanProbeWorksWithoutJoinIndex) {
+  // A join column without an index must fall back to a filtered table scan
+  // probe and stay correct.
+  Catalog catalog;
+  auto a = catalog.CreateTable("a", Schema({{"k", DataType::kInt64}}));
+  auto b = catalog.CreateTable("b", Schema({{"k", DataType::kInt64}}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*a)->table().Append({Value(i % 10)}).ok());
+    ASSERT_TRUE((*b)->table().Append({Value(i % 25)}).ok());
+  }
+  ASSERT_TRUE(catalog.AnalyzeAll().ok());  // no indexes at all
+  JoinQuery q;
+  q.name = "no_index";
+  q.tables = {{"a", "a"}, {"b", "b"}};
+  q.edges = {{0, "k", 1, "k", 0}};
+  q.local_predicates = {ColCmp("k", CompareOp::kLt, Value(5)), nullptr};
+  q.output = {{0, "k"}, {1, "k"}};
+  Planner planner(&catalog);
+  auto plan = planner.Plan(q);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  PipelineExecutor exec(plan->get(), AdaptiveOptions{});
+  std::vector<Row> rows;
+  auto stats = exec.Execute([&rows](const Row& r) { rows.push_back(r); });
+  ASSERT_TRUE(stats.ok());
+  SortRows(&rows);
+  auto expected = ExecuteReference(catalog, q);
+  ASSERT_TRUE(expected.ok());
+  SortRows(&*expected);
+  EXPECT_EQ(rows, *expected);
+  // 25 'a' rows pass k<5 (values 0..4, five each); each matches two 'b' rows.
+  EXPECT_EQ(rows.size(), 50u);
+}
+
+}  // namespace
+}  // namespace ajr

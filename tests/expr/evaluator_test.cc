@@ -1,0 +1,103 @@
+#include "expr/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"id", DataType::kInt64},
+                  {"make", DataType::kString},
+                  {"year", DataType::kInt64},
+                  {"price", DataType::kDouble},
+                  {"sold", DataType::kBool}}};
+  Row row_ = {Value(7), Value("Mazda"), Value(1999), Value(12000.5), Value(true)};
+
+  bool Eval(const ExprPtr& e) {
+    auto bound = BindPredicate(e, schema_);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    return (*bound)->Eval(row_);
+  }
+};
+
+TEST_F(EvaluatorTest, NullExprIsTrue) { EXPECT_TRUE(Eval(nullptr)); }
+
+TEST_F(EvaluatorTest, ColConstComparisons) {
+  EXPECT_TRUE(Eval(ColCmp("make", CompareOp::kEq, Value("Mazda"))));
+  EXPECT_FALSE(Eval(ColCmp("make", CompareOp::kEq, Value("BMW"))));
+  EXPECT_TRUE(Eval(ColCmp("year", CompareOp::kGt, Value(1998))));
+  EXPECT_FALSE(Eval(ColCmp("year", CompareOp::kGt, Value(1999))));
+  EXPECT_TRUE(Eval(ColCmp("year", CompareOp::kGe, Value(1999))));
+  EXPECT_TRUE(Eval(ColCmp("year", CompareOp::kLt, Value(2000))));
+  EXPECT_TRUE(Eval(ColCmp("year", CompareOp::kLe, Value(1999))));
+  EXPECT_TRUE(Eval(ColCmp("year", CompareOp::kNe, Value(2005))));
+  EXPECT_TRUE(Eval(ColCmp("price", CompareOp::kLt, Value(20000.0))));
+}
+
+TEST_F(EvaluatorTest, ConstColIsNormalized) {
+  // 1998 < year  ==  year > 1998
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kLt, Lit(Value(1998)), Col("year"))));
+  // 2000 > year  ==  year < 2000
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kGt, Lit(Value(2000)), Col("year"))));
+  // 1999 <= year
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kLe, Lit(Value(1999)), Col("year"))));
+  // 1999 >= year
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kGe, Lit(Value(1999)), Col("year"))));
+}
+
+TEST_F(EvaluatorTest, ColColComparison) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  auto bound = BindPredicate(Cmp(CompareOp::kLt, Col("a"), Col("b")), s);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE((*bound)->Eval({Value(1), Value(2)}));
+  EXPECT_FALSE((*bound)->Eval({Value(2), Value(2)}));
+}
+
+TEST_F(EvaluatorTest, AndOrNot) {
+  EXPECT_TRUE(Eval(And({ColCmp("make", CompareOp::kEq, Value("Mazda")),
+                        ColCmp("year", CompareOp::kGt, Value(1990))})));
+  EXPECT_FALSE(Eval(And({ColCmp("make", CompareOp::kEq, Value("Mazda")),
+                         ColCmp("year", CompareOp::kGt, Value(2000))})));
+  EXPECT_TRUE(Eval(Or({ColCmp("make", CompareOp::kEq, Value("BMW")),
+                       ColCmp("make", CompareOp::kEq, Value("Mazda"))})));
+  EXPECT_FALSE(Eval(Or({ColCmp("make", CompareOp::kEq, Value("BMW")),
+                        ColCmp("make", CompareOp::kEq, Value("Audi"))})));
+  EXPECT_TRUE(Eval(Not(ColCmp("make", CompareOp::kEq, Value("BMW")))));
+  EXPECT_FALSE(Eval(Not(ColCmp("make", CompareOp::kEq, Value("Mazda")))));
+}
+
+TEST_F(EvaluatorTest, InPredicate) {
+  EXPECT_TRUE(Eval(In("make", {Value("BMW"), Value("Mazda"), Value("Audi")})));
+  EXPECT_FALSE(Eval(In("make", {Value("BMW"), Value("Audi")})));
+  EXPECT_FALSE(Eval(In("make", {})));
+}
+
+TEST_F(EvaluatorTest, BoolLiteralPredicate) {
+  EXPECT_TRUE(Eval(Lit(Value(true))));
+  EXPECT_FALSE(Eval(Lit(Value(false))));
+}
+
+TEST_F(EvaluatorTest, ErrorsOnBadShapes) {
+  EXPECT_FALSE(BindPredicate(Lit(Value(3)), schema_).ok());
+  EXPECT_FALSE(BindPredicate(Col("make"), schema_).ok());
+  EXPECT_FALSE(
+      BindPredicate(ColCmp("nonexistent", CompareOp::kEq, Value(1)), schema_).ok());
+  // literal-vs-literal comparison is not supported
+  EXPECT_FALSE(
+      BindPredicate(Cmp(CompareOp::kEq, Lit(Value(1)), Lit(Value(1))), schema_).ok());
+}
+
+TEST_F(EvaluatorTest, EvalCountedChargesWork) {
+  WorkCounter wc;
+  auto bound = BindPredicate(ColCmp("year", CompareOp::kGt, Value(0)), schema_);
+  ASSERT_TRUE(bound.ok());
+  (*bound)->EvalCounted(row_, &wc);
+  (*bound)->EvalCounted(row_, &wc);
+  EXPECT_EQ(wc.total(), 2 * WorkCounter::kPredicateEval);
+  // Null counter is a no-op.
+  EXPECT_TRUE((*bound)->EvalCounted(row_, nullptr));
+}
+
+}  // namespace
+}  // namespace ajr

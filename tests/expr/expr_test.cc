@@ -1,0 +1,86 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+TEST(ExprTest, BuildersProduceExpectedKinds) {
+  EXPECT_EQ(Lit(Value(1))->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(Col("make")->kind(), ExprKind::kColumnRef);
+  EXPECT_EQ(ColCmp("make", CompareOp::kEq, Value("Mazda"))->kind(),
+            ExprKind::kComparison);
+  EXPECT_EQ(Not(Lit(Value(true)))->kind(), ExprKind::kNot);
+  EXPECT_EQ(In("make", {Value("A"), Value("B")})->kind(), ExprKind::kIn);
+}
+
+TEST(ExprTest, AndFlattensNested) {
+  auto e = And({ColCmp("a", CompareOp::kEq, Value(1)),
+                And({ColCmp("b", CompareOp::kEq, Value(2)),
+                     ColCmp("c", CompareOp::kEq, Value(3))})});
+  ASSERT_EQ(e->kind(), ExprKind::kAnd);
+  EXPECT_EQ(static_cast<const LogicalExpr&>(*e).children().size(), 3u);
+}
+
+TEST(ExprTest, AndOfOneIsChild) {
+  auto child = ColCmp("a", CompareOp::kEq, Value(1));
+  auto e = And({child});
+  EXPECT_EQ(e.get(), child.get());
+}
+
+TEST(ExprTest, AndOfNoneIsNull) {
+  EXPECT_EQ(And({}), nullptr);
+  EXPECT_EQ(Or({}), nullptr);
+}
+
+TEST(ExprTest, AndSkipsNullChildren) {
+  auto e = And({nullptr, ColCmp("a", CompareOp::kEq, Value(1)), nullptr});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind(), ExprKind::kComparison);
+}
+
+TEST(ExprTest, AndMaybe) {
+  auto a = ColCmp("a", CompareOp::kEq, Value(1));
+  auto b = ColCmp("b", CompareOp::kEq, Value(2));
+  EXPECT_EQ(AndMaybe(nullptr, nullptr), nullptr);
+  EXPECT_EQ(AndMaybe(a, nullptr).get(), a.get());
+  EXPECT_EQ(AndMaybe(nullptr, b).get(), b.get());
+  auto both = AndMaybe(a, b);
+  ASSERT_EQ(both->kind(), ExprKind::kAnd);
+}
+
+TEST(ExprTest, SplitConjuncts) {
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+  auto single = ColCmp("a", CompareOp::kEq, Value(1));
+  auto split1 = SplitConjuncts(single);
+  ASSERT_EQ(split1.size(), 1u);
+  EXPECT_EQ(split1[0].get(), single.get());
+  auto conj = And({ColCmp("a", CompareOp::kEq, Value(1)),
+                   ColCmp("b", CompareOp::kLt, Value(2)),
+                   ColCmp("c", CompareOp::kGt, Value(3))});
+  EXPECT_EQ(SplitConjuncts(conj).size(), 3u);
+}
+
+TEST(ExprTest, ToStringRendersSql) {
+  auto e = And({ColCmp("make", CompareOp::kEq, Value("Mazda")),
+                ColCmp("year", CompareOp::kGt, Value(1998))});
+  EXPECT_EQ(e->ToString(), "(make = 'Mazda') AND (year > 1998)");
+  auto o = Or({ColCmp("make", CompareOp::kEq, Value("Chevrolet")),
+               ColCmp("make", CompareOp::kEq, Value("Mercedes"))});
+  EXPECT_EQ(o->ToString(), "(make = 'Chevrolet') OR (make = 'Mercedes')");
+  EXPECT_EQ(In("m", {Value(1), Value(2)})->ToString(), "m IN (1, 2)");
+  EXPECT_EQ(Not(ColCmp("a", CompareOp::kNe, Value(0)))->ToString(),
+            "NOT (a <> 0)");
+}
+
+TEST(ExprTest, CompareOpNames) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kNe), "<>");
+  EXPECT_STREQ(CompareOpName(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpName(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpName(CompareOp::kGe), ">=");
+}
+
+}  // namespace
+}  // namespace ajr

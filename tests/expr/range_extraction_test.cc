@@ -1,0 +1,180 @@
+#include "expr/range_extraction.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+TEST(KeyRangeTest, PointContains) {
+  auto r = KeyRange::Point(Value(5));
+  EXPECT_TRUE(r.Contains(Value(5)));
+  EXPECT_FALSE(r.Contains(Value(4)));
+  EXPECT_FALSE(r.Contains(Value(6)));
+  EXPECT_FALSE(r.Empty());
+}
+
+TEST(KeyRangeTest, AllContainsEverything) {
+  auto r = KeyRange::All();
+  EXPECT_TRUE(r.Contains(Value(INT64_MIN)));
+  EXPECT_TRUE(r.Contains(Value(INT64_MAX)));
+  EXPECT_FALSE(r.Empty());
+}
+
+TEST(KeyRangeTest, ExclusiveBounds) {
+  KeyRange r;
+  r.lo = Value(10);
+  r.lo_inclusive = false;
+  r.hi = Value(20);
+  r.hi_inclusive = false;
+  EXPECT_FALSE(r.Contains(Value(10)));
+  EXPECT_TRUE(r.Contains(Value(11)));
+  EXPECT_TRUE(r.Contains(Value(19)));
+  EXPECT_FALSE(r.Contains(Value(20)));
+}
+
+TEST(KeyRangeTest, EmptyDetection) {
+  KeyRange r;
+  r.lo = Value(5);
+  r.hi = Value(4);
+  EXPECT_TRUE(r.Empty());
+  KeyRange half;
+  half.lo = Value(5);
+  half.hi = Value(5);
+  half.hi_inclusive = false;
+  EXPECT_TRUE(half.Empty());
+  EXPECT_FALSE(KeyRange::Point(Value(5)).Empty());
+}
+
+TEST(RangeExtractionTest, Equality) {
+  auto ex = ExtractRanges(ColCmp("make", CompareOp::kEq, Value("Mazda")), "make");
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_TRUE(ex.ranges[0].Contains(Value("Mazda")));
+  EXPECT_FALSE(ex.ranges[0].Contains(Value("BMW")));
+  EXPECT_EQ(ex.residual, nullptr);
+  EXPECT_TRUE(ex.sargable);
+}
+
+TEST(RangeExtractionTest, OpenRange) {
+  auto ex = ExtractRanges(ColCmp("salary", CompareOp::kLt, Value(50000)), "salary");
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_TRUE(ex.ranges[0].Contains(Value(49999)));
+  EXPECT_FALSE(ex.ranges[0].Contains(Value(50000)));
+  EXPECT_FALSE(ex.ranges[0].lo.has_value());
+}
+
+TEST(RangeExtractionTest, BoundedConjunction) {
+  auto e = And({ColCmp("age", CompareOp::kGt, Value(30)),
+                ColCmp("age", CompareOp::kLe, Value(60))});
+  auto ex = ExtractRanges(e, "age");
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_FALSE(ex.ranges[0].Contains(Value(30)));
+  EXPECT_TRUE(ex.ranges[0].Contains(Value(31)));
+  EXPECT_TRUE(ex.ranges[0].Contains(Value(60)));
+  EXPECT_FALSE(ex.ranges[0].Contains(Value(61)));
+  EXPECT_EQ(ex.residual, nullptr);
+}
+
+TEST(RangeExtractionTest, OrOfEqualitiesGivesMultipleRanges) {
+  // Example 1's predicate: make='Chevrolet' OR make='Mercedes'.
+  auto e = Or({ColCmp("make", CompareOp::kEq, Value("Chevrolet")),
+               ColCmp("make", CompareOp::kEq, Value("Mercedes"))});
+  auto ex = ExtractRanges(e, "make");
+  ASSERT_EQ(ex.ranges.size(), 2u);
+  EXPECT_TRUE(ex.ranges[0].Contains(Value("Chevrolet")));
+  EXPECT_TRUE(ex.ranges[1].Contains(Value("Mercedes")));
+  EXPECT_EQ(ex.residual, nullptr);
+}
+
+TEST(RangeExtractionTest, InGivesPointRanges) {
+  auto ex = ExtractRanges(In("make", {Value("B"), Value("A"), Value("C")}), "make");
+  ASSERT_EQ(ex.ranges.size(), 3u);
+  // sorted by lower bound
+  EXPECT_TRUE(ex.ranges[0].Contains(Value("A")));
+  EXPECT_TRUE(ex.ranges[2].Contains(Value("C")));
+}
+
+TEST(RangeExtractionTest, NonTargetConjunctsBecomeResidual) {
+  auto e = And({ColCmp("make", CompareOp::kEq, Value("Mazda")),
+                ColCmp("model", CompareOp::kEq, Value("323"))});
+  auto ex = ExtractRanges(e, "make");
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  ASSERT_NE(ex.residual, nullptr);
+  EXPECT_EQ(ex.residual->ToString(), "model = '323'");
+}
+
+TEST(RangeExtractionTest, NotSargableShapesAllResidual) {
+  auto e = ColCmp("make", CompareOp::kNe, Value("Mazda"));
+  auto ex = ExtractRanges(e, "make");
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_FALSE(ex.ranges[0].lo.has_value());
+  EXPECT_FALSE(ex.ranges[0].hi.has_value());
+  EXPECT_NE(ex.residual, nullptr);
+  EXPECT_FALSE(ex.sargable);
+}
+
+TEST(RangeExtractionTest, MixedOrIsPoisonedByNonSargableArm) {
+  auto e = Or({ColCmp("make", CompareOp::kEq, Value("A")),
+               ColCmp("model", CompareOp::kEq, Value("M"))});
+  auto ex = ExtractRanges(e, "make");
+  EXPECT_FALSE(ex.sargable);
+  ASSERT_NE(ex.residual, nullptr);
+}
+
+TEST(RangeExtractionTest, NullExprIsFullRange) {
+  auto ex = ExtractRanges(nullptr, "make");
+  ASSERT_EQ(ex.ranges.size(), 1u);
+  EXPECT_FALSE(ex.sargable);
+  EXPECT_EQ(ex.residual, nullptr);
+}
+
+TEST(RangeExtractionTest, ContradictionYieldsNoRanges) {
+  auto e = And({ColCmp("age", CompareOp::kGt, Value(60)),
+                ColCmp("age", CompareOp::kLt, Value(30))});
+  auto ex = ExtractRanges(e, "age");
+  EXPECT_TRUE(ex.ranges.empty());
+}
+
+TEST(RangeExtractionTest, IntersectRangesPairwise) {
+  std::vector<KeyRange> a = {KeyRange::Point(Value(1)), KeyRange::Point(Value(5))};
+  KeyRange wide;
+  wide.lo = Value(2);
+  wide.hi = Value(9);
+  std::vector<KeyRange> b = {wide};
+  auto out = IntersectRanges(a, b);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].Contains(Value(5)));
+  EXPECT_FALSE(out[0].Contains(Value(1)));
+}
+
+TEST(RangeExtractionTest, NormalizeMergesOverlaps) {
+  KeyRange a;
+  a.lo = Value(1);
+  a.hi = Value(5);
+  KeyRange b;
+  b.lo = Value(3);
+  b.hi = Value(8);
+  auto out = NormalizeRanges({b, a});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].lo->AsInt64(), 1);
+  EXPECT_EQ(out[0].hi->AsInt64(), 8);
+}
+
+TEST(RangeExtractionTest, NormalizeKeepsDisjoint) {
+  auto out =
+      NormalizeRanges({KeyRange::Point(Value(5)), KeyRange::Point(Value(1))});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].lo->AsInt64(), 1);
+  EXPECT_EQ(out[1].lo->AsInt64(), 5);
+}
+
+TEST(RangeExtractionTest, RangePlusEqualityIntersects) {
+  auto e = And({ColCmp("age", CompareOp::kGt, Value(30)),
+                In("age", {Value(25), Value(35), Value(45)})});
+  auto ex = ExtractRanges(e, "age");
+  ASSERT_EQ(ex.ranges.size(), 2u);
+  EXPECT_TRUE(ex.ranges[0].Contains(Value(35)));
+  EXPECT_TRUE(ex.ranges[1].Contains(Value(45)));
+}
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,160 @@
+#include "optimize/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+// 1000-row table: id uniform 0..999, grp in {0..9} uniform, skewed 90% 'A',
+// val uniform 0..99.
+class SelectivityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    auto t = catalog_->CreateTable("t", Schema({{"id", DataType::kInt64},
+                                                {"grp", DataType::kInt64},
+                                                {"skew", DataType::kString},
+                                                {"val", DataType::kInt64}}));
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < 1000; ++i) {
+      std::string skew = i < 900 ? "A" : std::string(1, static_cast<char>('B' + i % 20));
+      ASSERT_TRUE((*t)
+                      ->table()
+                      .Append({Value(i), Value(i % 10), Value(skew), Value(i % 100)})
+                      .ok());
+    }
+    AnalyzeOptions opts;
+    opts.rich = true;
+    opts.top_k = 5;
+    ASSERT_TRUE(catalog_->Analyze("t", opts).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  static const TableEntry& T() { return **catalog_->GetTable("t"); }
+  static Catalog* catalog_;
+};
+
+Catalog* SelectivityTest::catalog_ = nullptr;
+
+TEST_F(SelectivityTest, NullPredicateIsOne) {
+  SelectivityEstimator est;
+  EXPECT_DOUBLE_EQ(est.EstimateLocal(T(), nullptr), 1.0);
+}
+
+TEST_F(SelectivityTest, EqualityUsesUniformNdv) {
+  SelectivityEstimator est;
+  // grp has ndv 10 -> 0.1 regardless of the actual value.
+  EXPECT_NEAR(est.EstimateLocal(T(), ColCmp("grp", CompareOp::kEq, Value(3))), 0.1,
+              1e-9);
+  // skew has ndv 21; uniform assumption says 1/21 even for the 90% value.
+  EXPECT_NEAR(est.EstimateLocal(T(), ColCmp("skew", CompareOp::kEq, Value("A"))),
+              1.0 / 21, 1e-9);
+}
+
+TEST_F(SelectivityTest, RichStatsSeeSkew) {
+  SelectivityEstimator est(StatsTier::kRich);
+  // Frequent-value sketch knows 'A' covers 90%.
+  EXPECT_NEAR(est.EstimateLocal(T(), ColCmp("skew", CompareOp::kEq, Value("A"))),
+              0.9, 0.01);
+  // Non-frequent values get the leftover mass spread over remaining NDV.
+  double rare = est.EstimateLocal(T(), ColCmp("skew", CompareOp::kEq, Value("B")));
+  EXPECT_LT(rare, 0.02);
+  EXPECT_GT(rare, 0.0);
+}
+
+TEST_F(SelectivityTest, RangeInterpolation) {
+  SelectivityEstimator est;
+  // val in [0, 99]; val < 50 ~ 0.505 under uniformity.
+  double sel = est.EstimateLocal(T(), ColCmp("val", CompareOp::kLt, Value(50)));
+  EXPECT_NEAR(sel, 0.5, 0.02);
+  double sel10 = est.EstimateLocal(T(), ColCmp("val", CompareOp::kLe, Value(9)));
+  EXPECT_NEAR(sel10, 0.1, 0.02);
+  double all = est.EstimateLocal(T(), ColCmp("val", CompareOp::kGe, Value(0)));
+  EXPECT_NEAR(all, 1.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, IndependenceMultipliesConjuncts) {
+  SelectivityEstimator est;
+  auto conj = And({ColCmp("grp", CompareOp::kEq, Value(3)),
+                   ColCmp("val", CompareOp::kLt, Value(50))});
+  double sel = est.EstimateLocal(T(), conj);
+  EXPECT_NEAR(sel, 0.1 * 0.5, 0.01);
+}
+
+TEST_F(SelectivityTest, OrAndNotAndIn) {
+  SelectivityEstimator est;
+  auto either = Or({ColCmp("grp", CompareOp::kEq, Value(1)),
+                    ColCmp("grp", CompareOp::kEq, Value(2))});
+  EXPECT_NEAR(est.EstimateLocal(T(), either), 1 - 0.9 * 0.9, 1e-9);
+  auto neg = Not(ColCmp("grp", CompareOp::kEq, Value(1)));
+  EXPECT_NEAR(est.EstimateLocal(T(), neg), 0.9, 1e-9);
+  auto in = In("grp", {Value(1), Value(2), Value(3)});
+  EXPECT_NEAR(est.EstimateLocal(T(), in), 0.3, 1e-9);
+  auto ne = ColCmp("grp", CompareOp::kNe, Value(1));
+  EXPECT_NEAR(est.EstimateLocal(T(), ne), 0.9, 1e-9);
+}
+
+TEST_F(SelectivityTest, MissingStatsFallToDefaults) {
+  Catalog fresh;
+  auto t = fresh.CreateTable("u", Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*t)->table().Append({Value(1)}).ok());
+  // No ANALYZE: defaults apply.
+  SelectivityEstimator est;
+  EXPECT_DOUBLE_EQ(est.EstimateLocal(**fresh.GetTable("u"),
+                                     ColCmp("x", CompareOp::kEq, Value(1))),
+                   SelectivityEstimator::kDefaultEquality);
+  EXPECT_DOUBLE_EQ(est.EstimateLocal(**fresh.GetTable("u"),
+                                     ColCmp("x", CompareOp::kLt, Value(1))),
+                   SelectivityEstimator::kDefaultRange);
+}
+
+TEST_F(SelectivityTest, JoinUsesContainment) {
+  Catalog fresh;
+  auto a = fresh.CreateTable("a", Schema({{"k", DataType::kInt64}}));
+  auto b = fresh.CreateTable("b", Schema({{"k", DataType::kInt64}}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE((*a)->table().Append({Value(i)}).ok());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE((*b)->table().Append({Value(i % 10)}).ok());
+  ASSERT_TRUE(fresh.AnalyzeAll().ok());
+  SelectivityEstimator est;
+  // ndv(a.k)=100, ndv(b.k)=10 -> 1/100.
+  EXPECT_NEAR(est.EstimateJoin(**fresh.GetTable("a"), "k", **fresh.GetTable("b"), "k"),
+              0.01, 1e-9);
+}
+
+TEST_F(SelectivityTest, MinimalTierIgnoresColumnStats) {
+  // The paper's Sec 5 baseline: table sizes only, defaults everywhere —
+  // even though ANALYZE has run on this table.
+  SelectivityEstimator est(StatsTier::kMinimal);
+  EXPECT_DOUBLE_EQ(est.EstimateLocal(T(), ColCmp("grp", CompareOp::kEq, Value(3))),
+                   SelectivityEstimator::kDefaultEquality);
+  EXPECT_DOUBLE_EQ(est.EstimateLocal(T(), ColCmp("val", CompareOp::kLt, Value(50))),
+                   SelectivityEstimator::kDefaultRange);
+  // Join fallback with sizes only: 1/max(cardinality) (key-join heuristic).
+  EXPECT_DOUBLE_EQ(est.EstimateJoin(T(), "grp", T(), "val"), 1.0 / 1000);
+  // Independence still multiplies the defaults.
+  auto conj = And({ColCmp("grp", CompareOp::kEq, Value(3)),
+                   ColCmp("skew", CompareOp::kEq, Value("A"))});
+  EXPECT_NEAR(est.EstimateLocal(T(), conj), 0.04 * 0.04, 1e-12);
+}
+
+TEST_F(SelectivityTest, RangeEstimatesFromRangesDirect) {
+  SelectivityEstimator est;
+  KeyRange r;
+  r.lo = Value(25);
+  r.hi = Value(74);
+  EXPECT_NEAR(est.EstimateRanges(T(), "val", {r}), 0.5, 0.02);
+  // Disjoint ranges add.
+  EXPECT_NEAR(est.EstimateRanges(
+                  T(), "grp", {KeyRange::Point(Value(1)), KeyRange::Point(Value(2))}),
+              0.2, 1e-9);
+  // Unbounded range = 1.
+  EXPECT_DOUBLE_EQ(est.EstimateRanges(T(), "val", {KeyRange::All()}), 1.0);
+}
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,263 @@
+#include "storage/cursors.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ajr {
+namespace {
+
+// Builds a tree over keys [0, n) with rid == key (unique) when stride == 1,
+// or duplicated keys when stride > 1 (key = rid / stride).
+BPlusTree MakeTree(int n, int stride = 1) {
+  BPlusTree tree(DataType::kInt64, 8);
+  for (int rid = 0; rid < n; ++rid) {
+    tree.Insert(Value(rid / stride), static_cast<Rid>(rid));
+  }
+  return tree;
+}
+
+std::vector<Rid> DrainCursor(ScanCursor* cursor) {
+  std::vector<Rid> out;
+  Rid rid;
+  while (cursor->Next(nullptr, &rid)) out.push_back(rid);
+  return out;
+}
+
+TEST(TableScanCursorTest, ScansAllRidsInOrder) {
+  HeapTable t("t", Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Append({Value(i)}).ok());
+  TableScanCursor c(&t);
+  auto rids = DrainCursor(&c);
+  ASSERT_EQ(rids.size(), 10u);
+  for (size_t i = 0; i < rids.size(); ++i) EXPECT_EQ(rids[i], i);
+}
+
+TEST(TableScanCursorTest, PositionAndResume) {
+  HeapTable t("t", Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Append({Value(i)}).ok());
+  TableScanCursor c(&t);
+  Rid rid;
+  ASSERT_TRUE(c.Next(nullptr, &rid));
+  ASSERT_TRUE(c.Next(nullptr, &rid));
+  EXPECT_EQ(rid, 1u);
+  ScanPosition pos = c.CurrentPosition();
+  EXPECT_EQ(pos.order, ScanOrder::kRidOrder);
+  EXPECT_EQ(pos.rid, 1u);
+
+  TableScanCursor c2(&t);
+  ASSERT_TRUE(c2.ResumeFrom(pos).ok());
+  auto rest = DrainCursor(&c2);
+  ASSERT_EQ(rest.size(), 8u);
+  EXPECT_EQ(rest.front(), 2u);
+  EXPECT_EQ(rest.back(), 9u);
+}
+
+TEST(TableScanCursorTest, ResumeRejectsWrongOrder) {
+  HeapTable t("t", Schema({{"x", DataType::kInt64}}));
+  TableScanCursor c(&t);
+  EXPECT_FALSE(c.ResumeFrom(ScanPosition::AtKeyRid(Value(1), 0)).ok());
+}
+
+TEST(TableScanCursorTest, ResetRestarts) {
+  HeapTable t("t", Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(t.Append({Value(i)}).ok());
+  TableScanCursor c(&t);
+  Rid rid;
+  ASSERT_TRUE(c.Next(nullptr, &rid));
+  c.Reset();
+  auto all = DrainCursor(&c);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(IndexScanCursorTest, FullScan) {
+  auto tree = MakeTree(100);
+  IndexScanCursor c(&tree, {KeyRange::All()});
+  auto rids = DrainCursor(&c);
+  ASSERT_EQ(rids.size(), 100u);
+  for (size_t i = 0; i < rids.size(); ++i) EXPECT_EQ(rids[i], i);
+}
+
+TEST(IndexScanCursorTest, PointRange) {
+  auto tree = MakeTree(100, /*stride=*/4);  // keys 0..24, 4 rids each
+  IndexScanCursor c(&tree, {KeyRange::Point(Value(5))});
+  auto rids = DrainCursor(&c);
+  ASSERT_EQ(rids.size(), 4u);
+  EXPECT_EQ(rids.front(), 20u);
+  EXPECT_EQ(rids.back(), 23u);
+}
+
+TEST(IndexScanCursorTest, BoundedRangeWithExclusivity) {
+  auto tree = MakeTree(20);
+  KeyRange r;
+  r.lo = Value(5);
+  r.lo_inclusive = false;
+  r.hi = Value(10);
+  r.hi_inclusive = true;
+  IndexScanCursor c(&tree, {r});
+  auto rids = DrainCursor(&c);
+  ASSERT_EQ(rids.size(), 5u);
+  EXPECT_EQ(rids.front(), 6u);
+  EXPECT_EQ(rids.back(), 10u);
+}
+
+TEST(IndexScanCursorTest, MultiRangeScansInKeyOrder) {
+  // Example 1 shape: make IN ('Chevrolet', 'Mercedes') as two point ranges.
+  auto tree = MakeTree(30, /*stride=*/3);  // keys 0..9
+  IndexScanCursor c(&tree, {KeyRange::Point(Value(2)), KeyRange::Point(Value(7))});
+  auto rids = DrainCursor(&c);
+  ASSERT_EQ(rids.size(), 6u);
+  EXPECT_EQ(rids[0], 6u);
+  EXPECT_EQ(rids[2], 8u);
+  EXPECT_EQ(rids[3], 21u);
+  EXPECT_EQ(rids[5], 23u);
+}
+
+TEST(IndexScanCursorTest, EmptyRangesYieldNothing) {
+  auto tree = MakeTree(10);
+  IndexScanCursor c(&tree, {});
+  Rid rid;
+  EXPECT_FALSE(c.Next(nullptr, &rid));
+  IndexScanCursor c2(&tree, {KeyRange::Point(Value(99))});
+  EXPECT_FALSE(c2.Next(nullptr, &rid));
+}
+
+TEST(IndexScanCursorTest, PositionAndResumeWithinRange) {
+  auto tree = MakeTree(30, /*stride=*/3);  // keys 0..9, 3 rids each
+  IndexScanCursor c(&tree, {KeyRange::All()});
+  Rid rid;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(c.Next(nullptr, &rid));
+  EXPECT_EQ(rid, 4u);  // key 1, second rid
+  ScanPosition pos = c.CurrentPosition();
+  EXPECT_EQ(pos.order, ScanOrder::kKeyRidOrder);
+  EXPECT_EQ(pos.key.AsInt64(), 1);
+  EXPECT_EQ(pos.rid, 4u);
+
+  IndexScanCursor c2(&tree, {KeyRange::All()});
+  ASSERT_TRUE(c2.ResumeFrom(pos).ok());
+  auto rest = DrainCursor(&c2);
+  ASSERT_EQ(rest.size(), 25u);
+  EXPECT_EQ(rest.front(), 5u);
+}
+
+TEST(IndexScanCursorTest, ResumeAcrossRangeBoundary) {
+  auto tree = MakeTree(30, /*stride=*/3);
+  std::vector<KeyRange> ranges = {KeyRange::Point(Value(2)), KeyRange::Point(Value(7))};
+  IndexScanCursor c(&tree, ranges);
+  Rid rid;
+  // Consume all of range 1 (rids 6,7,8).
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(c.Next(nullptr, &rid));
+  ScanPosition pos = c.CurrentPosition();
+
+  IndexScanCursor c2(&tree, ranges);
+  ASSERT_TRUE(c2.ResumeFrom(pos).ok());
+  auto rest = DrainCursor(&c2);
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest.front(), 21u);
+}
+
+TEST(IndexScanCursorTest, ResumeRejectsWrongOrder) {
+  auto tree = MakeTree(5);
+  IndexScanCursor c(&tree, {KeyRange::All()});
+  EXPECT_FALSE(c.ResumeFrom(ScanPosition::AtRid(3)).ok());
+}
+
+TEST(IndexProbeTest, YieldsAllMatches) {
+  auto tree = MakeTree(40, /*stride=*/4);  // keys 0..9, 4 rids each
+  IndexProbe probe(&tree);
+  probe.Seek(Value(3), nullptr);
+  std::vector<Rid> rids;
+  Rid rid;
+  while (probe.Next(nullptr, &rid)) rids.push_back(rid);
+  ASSERT_EQ(rids.size(), 4u);
+  EXPECT_EQ(rids.front(), 12u);
+  EXPECT_EQ(rids.back(), 15u);
+}
+
+TEST(IndexProbeTest, MissingKeyYieldsNothing) {
+  auto tree = MakeTree(10);
+  IndexProbe probe(&tree);
+  probe.Seek(Value(99), nullptr);
+  Rid rid;
+  EXPECT_FALSE(probe.Next(nullptr, &rid));
+}
+
+TEST(IndexProbeTest, ReusableAcrossSeeks) {
+  auto tree = MakeTree(20, /*stride=*/2);
+  IndexProbe probe(&tree);
+  Rid rid;
+  probe.Seek(Value(4), nullptr);
+  int n1 = 0;
+  while (probe.Next(nullptr, &rid)) ++n1;
+  probe.Seek(Value(9), nullptr);
+  int n2 = 0;
+  while (probe.Next(nullptr, &rid)) ++n2;
+  EXPECT_EQ(n1, 2);
+  EXPECT_EQ(n2, 2);
+}
+
+TEST(IndexProbeTest, ChargesWork) {
+  auto tree = MakeTree(1000);
+  WorkCounter wc;
+  IndexProbe probe(&tree);
+  probe.Seek(Value(500), &wc);
+  uint64_t after_seek = wc.total();
+  EXPECT_GE(after_seek, WorkCounter::kIndexNodeVisit);
+  Rid rid;
+  while (probe.Next(&wc, &rid)) {
+  }
+  EXPECT_GT(wc.total(), after_seek);
+}
+
+// Property test: cursor over random ranges equals brute-force filter.
+class IndexScanRangeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexScanRangeSweep, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = 500;
+  std::vector<int64_t> keys;
+  BPlusTree tree(DataType::kInt64, 8);
+  for (int rid = 0; rid < n; ++rid) {
+    int64_t k = rng.NextInt64(0, 60);
+    keys.push_back(k);
+    tree.Insert(Value(k), static_cast<Rid>(rid));
+  }
+  // Random disjoint ranges via NormalizeRanges.
+  std::vector<KeyRange> ranges;
+  int num_ranges = 1 + static_cast<int>(rng.NextUint64(4));
+  for (int i = 0; i < num_ranges; ++i) {
+    KeyRange r;
+    int64_t lo = rng.NextInt64(0, 60);
+    int64_t hi = lo + rng.NextInt64(0, 10);
+    r.lo = Value(lo);
+    r.hi = Value(hi);
+    r.lo_inclusive = rng.NextBool();
+    r.hi_inclusive = rng.NextBool();
+    ranges.push_back(r);
+  }
+  ranges = NormalizeRanges(std::move(ranges));
+
+  IndexScanCursor c(&tree, ranges);
+  auto got = DrainCursor(&c);
+
+  // Brute force: all (key, rid) sorted, filtered by range membership.
+  std::vector<std::pair<int64_t, Rid>> sorted;
+  for (int rid = 0; rid < n; ++rid) sorted.push_back({keys[rid], static_cast<Rid>(rid)});
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<Rid> expected;
+  for (const auto& [k, rid] : sorted) {
+    for (const auto& r : ranges) {
+      if (r.Contains(Value(k))) {
+        expected.push_back(rid);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexScanRangeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,48 @@
+#include "storage/heap_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+}
+
+TEST(HeapTableTest, AppendAssignsDenseRids) {
+  HeapTable t("t", TwoColSchema());
+  for (int i = 0; i < 100; ++i) {
+    auto rid = t.Append({Value(i), Value("row")});
+    ASSERT_TRUE(rid.ok());
+    EXPECT_EQ(*rid, static_cast<Rid>(i));
+  }
+  EXPECT_EQ(t.num_rows(), 100u);
+}
+
+TEST(HeapTableTest, GetReturnsAppendedRow) {
+  HeapTable t("t", TwoColSchema());
+  ASSERT_TRUE(t.Append({Value(7), Value("seven")}).ok());
+  const Row& r = t.Get(0);
+  EXPECT_EQ(r[0].AsInt64(), 7);
+  EXPECT_EQ(r[1].AsString(), "seven");
+}
+
+TEST(HeapTableTest, SchemaMismatchRejected) {
+  HeapTable t("t", TwoColSchema());
+  EXPECT_FALSE(t.Append({Value(1)}).ok());
+  EXPECT_FALSE(t.Append({Value("x"), Value("y")}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(HeapTableTest, FetchChargesWork) {
+  HeapTable t("t", TwoColSchema());
+  ASSERT_TRUE(t.Append({Value(1), Value("a")}).ok());
+  WorkCounter wc;
+  t.Fetch(0, &wc);
+  t.Fetch(0, &wc);
+  EXPECT_EQ(wc.total(), 2 * WorkCounter::kRowFetch);
+  t.Fetch(0, nullptr);  // null counter is a no-op
+}
+
+}  // namespace
+}  // namespace ajr

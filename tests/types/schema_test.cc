@@ -1,0 +1,55 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ajr {
+namespace {
+
+Schema CarSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"ownerid", DataType::kInt64},
+                 {"make", DataType::kString},
+                 {"year", DataType::kInt64}});
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s = CarSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  auto idx = s.ColumnIndex("make");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_EQ(s.column(2).name, "make");
+  EXPECT_EQ(s.column(2).type, DataType::kString);
+}
+
+TEST(SchemaTest, MissingColumnIsNotFound) {
+  Schema s = CarSchema();
+  auto idx = s.ColumnIndex("color");
+  ASSERT_FALSE(idx.ok());
+  EXPECT_EQ(idx.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RowMatches) {
+  Schema s = CarSchema();
+  Row good = {Value(1), Value(10), Value("Mazda"), Value(1999)};
+  EXPECT_TRUE(s.RowMatches(good));
+  Row wrong_arity = {Value(1), Value(10)};
+  EXPECT_FALSE(s.RowMatches(wrong_arity));
+  Row wrong_type = {Value(1), Value(10), Value(5), Value(1999)};
+  EXPECT_FALSE(s.RowMatches(wrong_type));
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "a:INT64, b:STRING");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_columns(), 0u);
+  EXPECT_TRUE(s.RowMatches({}));
+  EXPECT_FALSE(s.ColumnIndex("x").ok());
+}
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,101 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ajr {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(true).type(), DataType::kBool);
+  EXPECT_EQ(Value(int64_t{5}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("hi").type(), DataType::kString);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, DefaultIsInt64Zero) {
+  Value v;
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_EQ(Value(2), Value(2));
+  EXPECT_GT(Value(3), Value(2));
+  EXPECT_LE(Value(2), Value(2));
+  EXPECT_GE(Value(2), Value(2));
+  EXPECT_NE(Value(1), Value(2));
+}
+
+TEST(ValueTest, StringComparisonIsLexicographic) {
+  EXPECT_LT(Value("Audi"), Value("BMW"));
+  EXPECT_LT(Value("BMW"), Value("Mercedes"));
+  EXPECT_EQ(Value("Audi"), Value("Audi"));
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_LT(Value(2), Value(2.5));
+  EXPECT_GT(Value(3.5), Value(3));
+}
+
+TEST(ValueTest, BoolComparison) {
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_EQ(Value(true), Value(true));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "'x'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(7).Hash(), Value(7).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  // Different values collide with negligible probability.
+  EXPECT_NE(Value(7).Hash(), Value(8).Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(1));
+  set.insert(Value(1));
+  set.insert(Value("a"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value(1)));
+  EXPECT_TRUE(set.count(Value("a")));
+  EXPECT_FALSE(set.count(Value(2)));
+}
+
+TEST(ValueTest, AsNumeric) {
+  EXPECT_DOUBLE_EQ(Value(4).AsNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.25).AsNumeric(), 4.25);
+}
+
+class ValueOrderSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(ValueOrderSweep, CompareMatchesNativeOrder) {
+  auto [a, b] = GetParam();
+  EXPECT_EQ(Value(a).Compare(Value(b)) < 0, a < b);
+  EXPECT_EQ(Value(a).Compare(Value(b)) == 0, a == b);
+  EXPECT_EQ(Value(a).Compare(Value(b)) > 0, a > b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ValueOrderSweep,
+    ::testing::Values(std::pair<int64_t, int64_t>{-5, 3},
+                      std::pair<int64_t, int64_t>{0, 0},
+                      std::pair<int64_t, int64_t>{7, -7},
+                      std::pair<int64_t, int64_t>{INT64_MIN, INT64_MAX},
+                      std::pair<int64_t, int64_t>{100, 100}));
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,190 @@
+#include "workload/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/dmv.h"
+
+namespace ajr {
+namespace {
+
+class TemplatesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    DmvConfig config;
+    config.num_owners = 2000;
+    config.build_indexes = false;  // templates only sample rows
+    config.analyze = false;
+    ASSERT_TRUE(GenerateDmv(catalog_, config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* TemplatesTest::catalog_ = nullptr;
+
+TEST_F(TemplatesTest, AllFourTableTemplatesValidate) {
+  DmvQueryGenerator gen(catalog_);
+  for (int t = 1; t <= kNumFourTableTemplates; ++t) {
+    for (size_t v = 0; v < 5; ++v) {
+      auto q = gen.Generate(t, v);
+      ASSERT_TRUE(q.ok()) << "T" << t << "/q" << v << ": " << q.status();
+      EXPECT_TRUE(q->Validate().ok());
+      EXPECT_EQ(q->tables.size(), 4u);
+      EXPECT_EQ(q->edges.size(), 3u);
+    }
+  }
+}
+
+TEST_F(TemplatesTest, UnknownTemplateRejected) {
+  DmvQueryGenerator gen(catalog_);
+  EXPECT_FALSE(gen.Generate(0, 0).ok());
+  EXPECT_FALSE(gen.Generate(6, 0).ok());
+  EXPECT_FALSE(gen.GenerateSixTable(3, 0).ok());
+}
+
+TEST_F(TemplatesTest, DeterministicPerVariant) {
+  DmvQueryGenerator gen(catalog_, 99);
+  auto a = gen.Generate(2, 7);
+  auto b = gen.Generate(2, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+  auto c = gen.Generate(2, 8);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->ToString(), c->ToString());
+}
+
+TEST_F(TemplatesTest, MixHasFiveTimesPerTemplate) {
+  DmvQueryGenerator gen(catalog_);
+  auto mix = gen.GenerateMix(4);
+  ASSERT_TRUE(mix.ok());
+  ASSERT_EQ(mix->size(), 20u);
+  EXPECT_EQ((*mix)[0].name, "T1/q0");
+  EXPECT_EQ((*mix)[19].name, "T5/q3");
+}
+
+TEST_F(TemplatesTest, Template1HasOrOfMakes) {
+  DmvQueryGenerator gen(catalog_);
+  auto q = gen.Generate(1, 0);
+  ASSERT_TRUE(q.ok());
+  // Car predicate is an OR, Owner has country1 equality, Demographics a
+  // salary range.
+  ASSERT_NE(q->local_predicates[1], nullptr);
+  EXPECT_EQ(q->local_predicates[1]->kind(), ExprKind::kOr);
+  EXPECT_NE(q->local_predicates[0], nullptr);
+  EXPECT_NE(q->local_predicates[2], nullptr);
+  EXPECT_EQ(q->local_predicates[3], nullptr);
+}
+
+TEST_F(TemplatesTest, Template2UsesCorrelatedPairs) {
+  DmvQueryGenerator gen(catalog_);
+  auto q = gen.Generate(2, 3);
+  ASSERT_TRUE(q.ok());
+  std::string car_pred = q->local_predicates[1]->ToString();
+  EXPECT_NE(car_pred.find("make ="), std::string::npos);
+  EXPECT_NE(car_pred.find("model ="), std::string::npos);
+  std::string owner_pred = q->local_predicates[0]->ToString();
+  EXPECT_NE(owner_pred.find("country3 ="), std::string::npos);
+  EXPECT_NE(owner_pred.find("city ="), std::string::npos);
+}
+
+TEST_F(TemplatesTest, Template4AlwaysUsesHeadCountry) {
+  DmvQueryGenerator gen(catalog_);
+  for (size_t v = 0; v < 10; ++v) {
+    auto q = gen.Generate(4, v);
+    ASSERT_TRUE(q.ok());
+    EXPECT_NE(q->local_predicates[0]->ToString().find("country3 = 'US'"),
+              std::string::npos);
+  }
+}
+
+TEST_F(TemplatesTest, Template5KeepsAccidentsUnfiltered) {
+  DmvQueryGenerator gen(catalog_);
+  auto q = gen.Generate(5, 1);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->local_predicates[3], nullptr);
+  EXPECT_NE(q->local_predicates[1], nullptr);
+}
+
+TEST_F(TemplatesTest, SixTableTemplatesValidate) {
+  DmvQueryGenerator gen(catalog_);
+  for (int t = 1; t <= kNumSixTableTemplates; ++t) {
+    auto q = gen.GenerateSixTable(t, 0);
+    ASSERT_TRUE(q.ok()) << q.status();
+    EXPECT_TRUE(q->Validate().ok());
+    EXPECT_EQ(q->tables.size(), 6u);
+    EXPECT_EQ(q->edges.size(), 5u);
+  }
+  auto mix = gen.GenerateSixTableMix(10);
+  ASSERT_TRUE(mix.ok());
+  EXPECT_EQ(mix->size(), 10u);
+  EXPECT_EQ((*mix)[0].name, "S1/q0");
+  EXPECT_EQ((*mix)[1].name, "S2/q0");
+}
+
+TEST(PaperExamplesTest, ExamplesValidate) {
+  auto e1 = DmvQueryGenerator::Example1();
+  EXPECT_TRUE(e1.Validate().ok());
+  EXPECT_EQ(e1.tables.size(), 4u);
+  EXPECT_NE(e1.ToString().find("Chevrolet"), std::string::npos);
+  EXPECT_NE(e1.ToString().find("Germany"), std::string::npos);
+
+  auto e2 = DmvQueryGenerator::Example2();
+  EXPECT_TRUE(e2.Validate().ok());
+  EXPECT_EQ(e2.tables.size(), 2u);
+  EXPECT_NE(e2.ToString().find("'323'"), std::string::npos);
+  EXPECT_NE(e2.ToString().find("Cairo"), std::string::npos);
+
+  auto e3 = DmvQueryGenerator::Example3();
+  EXPECT_TRUE(e3.Validate().ok());
+  EXPECT_NE(e3.ToString().find("Caprice"), std::string::npos);
+  EXPECT_NE(e3.ToString().find("Augusta"), std::string::npos);
+}
+
+TEST(JoinQueryTest, ValidateCatchesBadShapes) {
+  JoinQuery q = DmvQueryGenerator::Example1();
+  ASSERT_TRUE(q.Validate().ok());
+
+  JoinQuery dup = q;
+  dup.tables[1].alias = "o";
+  EXPECT_FALSE(dup.Validate().ok());
+
+  JoinQuery bad_edge = q;
+  bad_edge.edges[0].right = 9;
+  EXPECT_FALSE(bad_edge.Validate().ok());
+
+  JoinQuery bad_arity = q;
+  bad_arity.local_predicates.pop_back();
+  EXPECT_FALSE(bad_arity.Validate().ok());
+
+  JoinQuery disconnected = q;
+  disconnected.edges.clear();
+  EXPECT_FALSE(disconnected.Validate().ok());
+
+  JoinQuery bad_id = q;
+  bad_id.edges[1].edge_id = 7;
+  EXPECT_FALSE(bad_id.Validate().ok());
+
+  JoinQuery empty;
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(JoinQueryTest, EdgeHelpers) {
+  JoinQuery q = DmvQueryGenerator::Example1();
+  const JoinEdge& e = q.edges[0];  // c.ownerid = o.id
+  EXPECT_TRUE(e.Touches(0));
+  EXPECT_TRUE(e.Touches(1));
+  EXPECT_FALSE(e.Touches(2));
+  EXPECT_EQ(e.Other(0), 1u);
+  EXPECT_EQ(e.Other(1), 0u);
+  EXPECT_EQ(e.ColumnOn(1), "ownerid");
+  EXPECT_EQ(e.ColumnOn(0), "id");
+  auto car_edges = q.EdgesOf(1);
+  EXPECT_EQ(car_edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ajr

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_bench_util.dir/harness_util.cc.o"
+  "CMakeFiles/ajr_bench_util.dir/harness_util.cc.o.d"
+  "libajr_bench_util.a"
+  "libajr_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

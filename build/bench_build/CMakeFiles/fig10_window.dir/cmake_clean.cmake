@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_window"
+  "../bench/fig10_window.pdb"
+  "CMakeFiles/fig10_window.dir/fig10_window.cpp.o"
+  "CMakeFiles/fig10_window.dir/fig10_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

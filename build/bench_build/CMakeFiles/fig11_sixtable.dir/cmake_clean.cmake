@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_sixtable"
+  "../bench/fig11_sixtable.pdb"
+  "CMakeFiles/fig11_sixtable.dir/fig11_sixtable.cpp.o"
+  "CMakeFiles/fig11_sixtable.dir/fig11_sixtable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sixtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

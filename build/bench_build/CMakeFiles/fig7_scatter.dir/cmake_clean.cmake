@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_scatter"
+  "../bench/fig7_scatter.pdb"
+  "CMakeFiles/fig7_scatter.dir/fig7_scatter.cpp.o"
+  "CMakeFiles/fig7_scatter.dir/fig7_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

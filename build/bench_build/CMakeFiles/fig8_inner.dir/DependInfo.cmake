@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_inner.cpp" "bench_build/CMakeFiles/fig8_inner.dir/fig8_inner.cpp.o" "gcc" "bench_build/CMakeFiles/fig8_inner.dir/fig8_inner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/ajr_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ajr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/ajr_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ajr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/ajr_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ajr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ajr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ajr_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ajr_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ajr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_inner"
+  "../bench/fig8_inner.pdb"
+  "CMakeFiles/fig8_inner.dir/fig8_inner.cpp.o"
+  "CMakeFiles/fig8_inner.dir/fig8_inner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_inner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

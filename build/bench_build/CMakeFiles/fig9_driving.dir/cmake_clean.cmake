@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_driving"
+  "../bench/fig9_driving.pdb"
+  "CMakeFiles/fig9_driving.dir/fig9_driving.cpp.o"
+  "CMakeFiles/fig9_driving.dir/fig9_driving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

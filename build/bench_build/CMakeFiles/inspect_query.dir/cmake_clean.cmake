@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/inspect_query"
+  "../bench/inspect_query.pdb"
+  "CMakeFiles/inspect_query.dir/inspect_query.cpp.o"
+  "CMakeFiles/inspect_query.dir/inspect_query.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

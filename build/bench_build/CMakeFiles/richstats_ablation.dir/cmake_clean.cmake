@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/richstats_ablation"
+  "../bench/richstats_ablation.pdb"
+  "CMakeFiles/richstats_ablation.dir/richstats_ablation.cpp.o"
+  "CMakeFiles/richstats_ablation.dir/richstats_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richstats_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for richstats_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accident_analysis.dir/accident_analysis.cpp.o"
+  "CMakeFiles/accident_analysis.dir/accident_analysis.cpp.o.d"
+  "accident_analysis"
+  "accident_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accident_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

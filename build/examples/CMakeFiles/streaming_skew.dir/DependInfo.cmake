@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/streaming_skew.cpp" "examples/CMakeFiles/streaming_skew.dir/streaming_skew.cpp.o" "gcc" "examples/CMakeFiles/streaming_skew.dir/streaming_skew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/ajr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/ajr_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ajr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/ajr_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ajr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ajr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ajr_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ajr_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ajr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

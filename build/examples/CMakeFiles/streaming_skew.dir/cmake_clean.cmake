@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_skew.dir/streaming_skew.cpp.o"
+  "CMakeFiles/streaming_skew.dir/streaming_skew.cpp.o.d"
+  "streaming_skew"
+  "streaming_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/controller.cc" "src/adaptive/CMakeFiles/ajr_adaptive.dir/controller.cc.o" "gcc" "src/adaptive/CMakeFiles/ajr_adaptive.dir/controller.cc.o.d"
+  "/root/repo/src/adaptive/monitor.cc" "src/adaptive/CMakeFiles/ajr_adaptive.dir/monitor.cc.o" "gcc" "src/adaptive/CMakeFiles/ajr_adaptive.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimize/CMakeFiles/ajr_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ajr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ajr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ajr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ajr_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ajr_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

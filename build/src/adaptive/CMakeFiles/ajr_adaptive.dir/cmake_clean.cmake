@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_adaptive.dir/controller.cc.o"
+  "CMakeFiles/ajr_adaptive.dir/controller.cc.o.d"
+  "CMakeFiles/ajr_adaptive.dir/monitor.cc.o"
+  "CMakeFiles/ajr_adaptive.dir/monitor.cc.o.d"
+  "libajr_adaptive.a"
+  "libajr_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_catalog.dir/catalog.cc.o"
+  "CMakeFiles/ajr_catalog.dir/catalog.cc.o.d"
+  "libajr_catalog.a"
+  "libajr_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

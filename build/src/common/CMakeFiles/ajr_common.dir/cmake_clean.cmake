@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_common.dir/random.cc.o"
+  "CMakeFiles/ajr_common.dir/random.cc.o.d"
+  "CMakeFiles/ajr_common.dir/status.cc.o"
+  "CMakeFiles/ajr_common.dir/status.cc.o.d"
+  "CMakeFiles/ajr_common.dir/string_util.cc.o"
+  "CMakeFiles/ajr_common.dir/string_util.cc.o.d"
+  "libajr_common.a"
+  "libajr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_exec.dir/pipeline_executor.cc.o"
+  "CMakeFiles/ajr_exec.dir/pipeline_executor.cc.o.d"
+  "CMakeFiles/ajr_exec.dir/reference_executor.cc.o"
+  "CMakeFiles/ajr_exec.dir/reference_executor.cc.o.d"
+  "libajr_exec.a"
+  "libajr_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

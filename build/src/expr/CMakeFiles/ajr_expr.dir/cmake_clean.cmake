@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_expr.dir/evaluator.cc.o"
+  "CMakeFiles/ajr_expr.dir/evaluator.cc.o.d"
+  "CMakeFiles/ajr_expr.dir/expr.cc.o"
+  "CMakeFiles/ajr_expr.dir/expr.cc.o.d"
+  "CMakeFiles/ajr_expr.dir/range_extraction.cc.o"
+  "CMakeFiles/ajr_expr.dir/range_extraction.cc.o.d"
+  "libajr_expr.a"
+  "libajr_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimize/cost_model.cc" "src/optimize/CMakeFiles/ajr_optimize.dir/cost_model.cc.o" "gcc" "src/optimize/CMakeFiles/ajr_optimize.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimize/planner.cc" "src/optimize/CMakeFiles/ajr_optimize.dir/planner.cc.o" "gcc" "src/optimize/CMakeFiles/ajr_optimize.dir/planner.cc.o.d"
+  "/root/repo/src/optimize/query.cc" "src/optimize/CMakeFiles/ajr_optimize.dir/query.cc.o" "gcc" "src/optimize/CMakeFiles/ajr_optimize.dir/query.cc.o.d"
+  "/root/repo/src/optimize/selectivity.cc" "src/optimize/CMakeFiles/ajr_optimize.dir/selectivity.cc.o" "gcc" "src/optimize/CMakeFiles/ajr_optimize.dir/selectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/ajr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ajr_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ajr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ajr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ajr_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

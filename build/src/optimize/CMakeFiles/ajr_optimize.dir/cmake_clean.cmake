@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_optimize.dir/cost_model.cc.o"
+  "CMakeFiles/ajr_optimize.dir/cost_model.cc.o.d"
+  "CMakeFiles/ajr_optimize.dir/planner.cc.o"
+  "CMakeFiles/ajr_optimize.dir/planner.cc.o.d"
+  "CMakeFiles/ajr_optimize.dir/query.cc.o"
+  "CMakeFiles/ajr_optimize.dir/query.cc.o.d"
+  "CMakeFiles/ajr_optimize.dir/selectivity.cc.o"
+  "CMakeFiles/ajr_optimize.dir/selectivity.cc.o.d"
+  "libajr_optimize.a"
+  "libajr_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

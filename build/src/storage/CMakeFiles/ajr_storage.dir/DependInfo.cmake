@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/storage/CMakeFiles/ajr_storage.dir/bplus_tree.cc.o" "gcc" "src/storage/CMakeFiles/ajr_storage.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/cursors.cc" "src/storage/CMakeFiles/ajr_storage.dir/cursors.cc.o" "gcc" "src/storage/CMakeFiles/ajr_storage.dir/cursors.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/storage/CMakeFiles/ajr_storage.dir/heap_table.cc.o" "gcc" "src/storage/CMakeFiles/ajr_storage.dir/heap_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/ajr_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ajr_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ajr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

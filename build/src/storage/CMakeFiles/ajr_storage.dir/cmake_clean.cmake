@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/ajr_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/ajr_storage.dir/cursors.cc.o"
+  "CMakeFiles/ajr_storage.dir/cursors.cc.o.d"
+  "CMakeFiles/ajr_storage.dir/heap_table.cc.o"
+  "CMakeFiles/ajr_storage.dir/heap_table.cc.o.d"
+  "libajr_storage.a"
+  "libajr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

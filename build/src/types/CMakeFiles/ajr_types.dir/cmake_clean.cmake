@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_types.dir/schema.cc.o"
+  "CMakeFiles/ajr_types.dir/schema.cc.o.d"
+  "CMakeFiles/ajr_types.dir/value.cc.o"
+  "CMakeFiles/ajr_types.dir/value.cc.o.d"
+  "libajr_types.a"
+  "libajr_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajr_workload.dir/dmv.cc.o"
+  "CMakeFiles/ajr_workload.dir/dmv.cc.o.d"
+  "CMakeFiles/ajr_workload.dir/templates.cc.o"
+  "CMakeFiles/ajr_workload.dir/templates.cc.o.d"
+  "libajr_workload.a"
+  "libajr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_behavior_test.dir/exec/adaptive_behavior_test.cc.o"
+  "CMakeFiles/adaptive_behavior_test.dir/exec/adaptive_behavior_test.cc.o.d"
+  "adaptive_behavior_test"
+  "adaptive_behavior_test.pdb"
+  "adaptive_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_extraction_test.dir/expr/range_extraction_test.cc.o"
+  "CMakeFiles/range_extraction_test.dir/expr/range_extraction_test.cc.o.d"
+  "range_extraction_test"
+  "range_extraction_test.pdb"
+  "range_extraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/range_extraction_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_table_test[1]_include.cmake")
+include("/root/repo/build/tests/bplus_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/cursors_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/selectivity_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/dmv_test[1]_include.cmake")
+include("/root/repo/build/tests/templates_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/random_query_property_test[1]_include.cmake")

@@ -1,0 +1,172 @@
+// Concurrent-throughput harness for the query runtime (not a paper figure).
+//
+// Runs the DMV template mix twice: once serially (the trusted baseline, and
+// the per-query row-count oracle) and once through the QueryEngine with N
+// workers. Reports QPS and the p50/p95/p99 end-to-end latency, then checks
+// that every query produced exactly the serial row count — adaptive
+// reordering under concurrency must not change results.
+//
+//   $ ./build/bench/concurrent_throughput --owners=100000 --workers=8 \
+//         --per-template=30
+//
+// Flags: --owners=N --per-template=N --workers=N --seed=N
+//        --stats=minimal|base|rich
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/harness_util.h"
+#include "common/metrics.h"
+#include "runtime/query_engine.h"
+
+using namespace ajr;
+using namespace ajr::bench;
+
+namespace {
+
+struct Flags {
+  HarnessFlags common;
+  size_t workers = 0;  // 0 = hardware concurrency (at least 4)
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      flags.workers = static_cast<size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  flags.common =
+      HarnessFlags::Parse(static_cast<int>(passthrough.size()), passthrough.data());
+  return flags;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  if (flags.workers == 0) {
+    flags.workers = std::max<size_t>(4, std::thread::hardware_concurrency());
+  }
+
+  std::printf("Loading DMV (%zu owners)...\n", flags.common.owners);
+  Workbench bench(flags.common);
+  DmvQueryGenerator gen(&bench.catalog(), flags.common.seed);
+  auto queries_or = gen.GenerateMix(flags.common.per_template);
+  if (!queries_or.ok()) {
+    std::fprintf(stderr, "query generation failed: %s\n",
+                 queries_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<JoinQuery>& queries = *queries_or;
+  const AdaptiveOptions adaptive = Workbench::SwitchBoth();
+
+  // ---- Serial baseline: one thread, also the row-count oracle. ----
+  std::printf("Serial pass: %zu queries...\n", queries.size());
+  std::vector<uint64_t> serial_rows(queries.size());
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto plan = bench.planner().Plan(queries[i]);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "planning %s failed: %s\n", queries[i].name.c_str(),
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    PipelineExecutor exec(plan->get(), adaptive);
+    auto stats = exec.Execute(nullptr);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "executing %s failed: %s\n", queries[i].name.c_str(),
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    serial_rows[i] = stats->rows_out;
+  }
+  const double serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - serial_start)
+          .count();
+
+  // ---- Concurrent pass through the engine. ----
+  std::printf("Concurrent pass: %zu workers...\n", flags.workers);
+  MetricsRegistry metrics;
+  QueryEngineOptions eopts;
+  eopts.num_workers = flags.workers;
+  eopts.planner.stats_tier = flags.common.stats_tier;
+  eopts.metrics = &metrics;
+  QueryEngine engine(&bench.catalog(), eopts);
+
+  std::vector<QueryHandle> handles;
+  handles.reserve(queries.size());
+  const auto conc_start = std::chrono::steady_clock::now();
+  for (const JoinQuery& q : queries) {
+    QuerySpec spec;
+    spec.query = q;
+    spec.adaptive = adaptive;
+    auto handle = engine.Submit(std::move(spec));
+    if (!handle.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n", handle.status().ToString().c_str());
+      return 1;
+    }
+    handles.push_back(*handle);
+  }
+  size_t mismatches = 0;
+  std::vector<double> exec_latency_ms;
+  exec_latency_ms.reserve(handles.size());
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const QueryResult& result = handles[i].Wait();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "query %s failed: %s\n", handles[i].name().c_str(),
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    exec_latency_ms.push_back(result.stats.wall_seconds * 1000.0);
+    if (result.stats.rows_out != serial_rows[i]) {
+      ++mismatches;
+      std::fprintf(stderr, "ROW MISMATCH %s: serial=%llu concurrent=%llu\n",
+                   handles[i].name().c_str(),
+                   static_cast<unsigned long long>(serial_rows[i]),
+                   static_cast<unsigned long long>(result.stats.rows_out));
+    }
+  }
+  const double conc_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - conc_start)
+          .count();
+  engine.Shutdown();
+
+  // ---- Report. ----
+  const double n = static_cast<double>(queries.size());
+  const Histogram* e2e = metrics.FindHistogram("engine.query_latency_us");
+  std::printf("\nConcurrent throughput (%zu queries, %zu workers)\n",
+              queries.size(), flags.workers);
+  std::printf("  serial        : %.2f s  (%.1f QPS)\n", serial_s, n / serial_s);
+  std::printf("  concurrent    : %.2f s  (%.1f QPS, %.2fx)\n", conc_s, n / conc_s,
+              serial_s / conc_s);
+  std::printf("  exec latency  : p50=%.2f ms  p95=%.2f ms  p99=%.2f ms\n",
+              Percentile(exec_latency_ms, 0.50), Percentile(exec_latency_ms, 0.95),
+              Percentile(exec_latency_ms, 0.99));
+  if (e2e != nullptr) {
+    std::printf("  e2e latency   : p50=%.2f ms  p95=%.2f ms  p99=%.2f ms"
+                "  (incl. queue wait)\n",
+                e2e->Quantile(0.50) / 1000.0, e2e->Quantile(0.95) / 1000.0,
+                e2e->Quantile(0.99) / 1000.0);
+  }
+  std::printf("  row counts    : %s\n",
+              mismatches == 0 ? "identical to serial execution"
+                              : "MISMATCHES (see above)");
+  std::printf("\nEngine metrics snapshot:\n%s", metrics.Snapshot().c_str());
+  return mismatches == 0 ? 0 : 1;
+}

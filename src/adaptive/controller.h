@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -56,6 +58,38 @@ struct AdaptiveOptions {
   /// back-off restores the paper's sub-1% overhead regime (Sec 5.4).
   bool check_backoff = true;
   static constexpr uint64_t kMaxBackoff = 16;
+};
+
+/// Exponential back-off schedule for one reorder-check interval (the
+/// AdaptiveOptions::check_backoff policy, factored out so the executor's
+/// driving and per-leg inner intervals share one tested implementation).
+///
+/// The interval starts at `base` (the check frequency c). Every
+/// unproductive check doubles it, capped at base * kMaxBackoff; any reorder
+/// resets it to base. With back-off disabled the interval is constant.
+class CheckBackoff {
+ public:
+  CheckBackoff() : CheckBackoff(10, true) {}
+  CheckBackoff(uint64_t base, bool enabled)
+      : base_(base == 0 ? 1 : base), interval_(base_), enabled_(enabled) {}
+
+  /// Rows to let pass before the next check.
+  uint64_t interval() const { return interval_; }
+
+  /// A check ran and decided "no change": double the interval (capped).
+  void OnUnproductiveCheck() {
+    if (enabled_) {
+      interval_ = std::min(interval_ * 2, base_ * AdaptiveOptions::kMaxBackoff);
+    }
+  }
+
+  /// A check reordered: back to the base frequency.
+  void OnReorder() { interval_ = base_; }
+
+ private:
+  uint64_t base_;
+  uint64_t interval_;
+  bool enabled_;
 };
 
 /// Fig 2: checks whether legs order[from..] are in ascending-rank order

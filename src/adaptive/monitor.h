@@ -160,6 +160,29 @@ class DrivingMonitor {
   uint64_t produced_total_ = 0;
 };
 
+/// Sec 4.3.3 estimate selection for one leg's combined local selectivity
+/// S_LP, shared by every cost-input assembly in the executor:
+///
+///   * the monitored inner-role selectivity once the leg has seen at least
+///     `min_leg_samples` incoming rows — below the floor a cold monitor
+///     (10 samples of a 2% predicate usually read 0) must not override the
+///     optimizer and make candidate plans look free;
+///   * else Eq 9's composition S_LP = S_LPI (optimizer) * S_LPR (measured)
+///     for a leg that has driven;
+///   * else the optimizer estimate unchanged.
+inline double EffectiveLocalSel(const LegMonitor& inner,
+                                const DrivingMonitor& driving,
+                                double optimizer_est, double est_slpi,
+                                uint64_t min_leg_samples) {
+  if (inner.incoming_total() >= min_leg_samples) {
+    return inner.LocalSel(optimizer_est);
+  }
+  if (driving.scanned_total() > 0) {
+    return est_slpi * driving.ResidualSel(1.0);
+  }
+  return optimizer_est;
+}
+
 /// Per-edge monitor: S_JP as matching pairs over candidate pairs (Eq 7/8).
 class EdgeMonitor {
  public:

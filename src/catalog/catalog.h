@@ -4,6 +4,15 @@
 // after table population (BuildIndex), matching the paper's setting where
 // "proper indexes are built on join columns" (Sec 3.1). ANALYZE computes
 // per-column statistics in two tiers (see column_stats.h).
+//
+// Thread safety: the catalog follows a build-then-serve lifecycle. During
+// the build phase (CreateTable / Append / BuildIndex / Analyze) it must be
+// confined to one thread. Once built, the entire read surface — const
+// GetTable, TableEntry's index/stats/schema lookups, and everything
+// reachable from them (HeapTable/BPlusTree reads, see storage/) — is const
+// with no interior mutability, so the concurrent query runtime shares one
+// catalog across all workers without locking. DDL while queries are in
+// flight is not supported.
 
 #pragma once
 

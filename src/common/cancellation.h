@@ -1,0 +1,87 @@
+// Cooperative cancellation for running queries.
+//
+// A CancellationToken is shared between the control plane (QueryHandle::
+// Cancel, the engine's deadline bookkeeping) and the worker thread executing
+// the query. The executor polls the token at its depleted-state points — the
+// same moments the paper uses for reorder checks — so cancellation adds no
+// cost to the probe hot path: a depleted state is reached once per incoming
+// row at most, and the poll is one relaxed atomic load.
+//
+// Thread safety: Cancel() and the polling methods may race freely (atomic
+// flag). set_deadline() must happen-before the token is shared with the
+// executing thread; the engine sets it at submit time, before enqueueing.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "common/status.h"
+
+namespace ajr {
+
+/// Why a query stopped before completing.
+enum class StopReason {
+  kNone = 0,
+  kCancelled,
+  kDeadlineExceeded,
+};
+
+/// Shared cancel/deadline flag polled by the executor.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Idempotent; callable from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute deadline. Must be set before the token is shared with the
+  /// executing thread (the engine sets it at submit time).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+  bool has_deadline() const { return deadline_.has_value(); }
+
+  /// Flag-only poll: one relaxed load. Used at high-frequency depleted
+  /// states (inner legs), where reading the clock would be measurable.
+  StopReason CheckFlag() const {
+    return cancel_requested() ? StopReason::kCancelled : StopReason::kNone;
+  }
+
+  /// Full poll: flag plus deadline (one clock read). Used at driving-row
+  /// boundaries and periodically at inner depleted states.
+  StopReason Check() const {
+    if (cancel_requested()) return StopReason::kCancelled;
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      return StopReason::kDeadlineExceeded;
+    }
+    return StopReason::kNone;
+  }
+
+  /// The Status a query terminated by `reason` surfaces to its caller.
+  static Status ToStatus(StopReason reason) {
+    switch (reason) {
+      case StopReason::kCancelled:
+        return Status::Cancelled("query cancelled");
+      case StopReason::kDeadlineExceeded:
+        return Status::DeadlineExceeded("query deadline exceeded");
+      case StopReason::kNone:
+        break;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+};
+
+}  // namespace ajr

@@ -1,0 +1,151 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace ajr {
+
+size_t Histogram::BucketIndex(uint64_t sample) {
+  if (sample < (uint64_t{1} << kSubBucketBits)) return sample;
+  const int msb = 63 - std::countl_zero(sample);
+  const size_t octave = static_cast<size_t>(msb) - kSubBucketBits + 1;
+  const size_t sub = (sample >> (msb - kSubBucketBits)) & ((1u << kSubBucketBits) - 1);
+  return (octave << kSubBucketBits) + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t idx) {
+  if (idx < (uint64_t{1} << kSubBucketBits)) return idx;
+  const size_t octave = idx >> kSubBucketBits;
+  const size_t sub = idx & ((1u << kSubBucketBits) - 1);
+  const int msb = static_cast<int>(octave) + kSubBucketBits - 1;
+  const uint64_t width = uint64_t{1} << (msb - kSubBucketBits);
+  return (uint64_t{1} << msb) + sub * width + width - 1;
+}
+
+void Histogram::Record(uint64_t sample) {
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the requested sample under nearest-rank semantics.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cum + in_bucket >= rank) {
+      // Interpolate linearly inside the bucket's sample range, clamped to
+      // the observed extremes so small-n quantiles stay exact-ish.
+      const uint64_t lo = i == 0 ? 0 : BucketUpperBound(i - 1) + 1;
+      const uint64_t hi = BucketUpperBound(i);
+      const double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(in_bucket);
+      double v = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      v = std::min(v, static_cast<double>(max()));
+      v = std::max(v, static_cast<double>(min()));
+      return v;
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> lines;
+  lines.reserve(counters_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    lines.push_back(StrCat(name, " ", counter->value()));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    lines.push_back(StrCat(
+        name, " count=", hist->count(), " mean=", FormatDouble(hist->mean(), 1),
+        " p50=", FormatDouble(hist->Quantile(0.50), 0),
+        " p95=", FormatDouble(hist->Quantile(0.95), 0),
+        " p99=", FormatDouble(hist->Quantile(0.99), 0), " max=", hist->max()));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace ajr

@@ -1,0 +1,109 @@
+// Engine-wide metrics: lock-free counters and histograms behind a named
+// registry.
+//
+// The concurrent runtime (src/runtime) serves many queries at once, so
+// per-query ExecStats alone no longer describe engine behaviour — operators
+// need process-wide totals (queries started/finished/cancelled, rows out,
+// work units, adaptation events) and latency distributions. Counter and
+// Histogram are single atomic words / fixed atomic arrays: recording on the
+// query hot path is wait-free and never allocates. The registry maps stable
+// names to metric objects; handed-out pointers stay valid for the registry's
+// lifetime, so callers look a metric up once and record through the pointer.
+//
+// Thread safety: every member of Counter, Histogram, and MetricsRegistry is
+// safe to call concurrently. Snapshots are taken without stopping writers,
+// so a snapshot is a consistent-enough view for monitoring, not an atomic
+// cut across metrics.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ajr {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Distribution of non-negative integer samples (latencies in microseconds,
+/// row counts, work units).
+///
+/// Buckets are log2-spaced with 8 linear sub-buckets per octave (relative
+/// quantile error <= 12.5%), which keeps recording to two shifts and one
+/// atomic increment. Quantiles interpolate within the hit bucket.
+class Histogram {
+ public:
+  void Record(uint64_t sample);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const;
+  uint64_t max() const;
+  double mean() const;
+  /// Value at quantile q in [0, 1] (0.5 = median). 0 when empty.
+  double Quantile(double q) const;
+  void Reset();
+
+ private:
+  // 64 octaves x 8 sub-buckets covers the full uint64 range.
+  static constexpr size_t kSubBucketBits = 3;
+  static constexpr size_t kNumBuckets = 64 << kSubBucketBits;
+  static size_t BucketIndex(uint64_t sample);
+  /// Inclusive upper bound of bucket `idx`'s sample range.
+  static uint64_t BucketUpperBound(size_t idx);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Named registry of counters and histograms.
+///
+/// `Global()` is the process-wide instance the engine defaults to; tests and
+/// embedded engines can own private registries instead.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it on first use. The pointer
+  /// stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  /// Returns the histogram named `name`, creating it on first use.
+  Histogram* GetHistogram(const std::string& name);
+
+  /// The counter/histogram if it exists, else nullptr (no creation).
+  const Counter* FindCounter(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Human-readable dump, one metric per line, sorted by name:
+  ///   engine.queries_finished 117
+  ///   engine.query_latency_us count=117 mean=834.2 p50=512 p95=3120 p99=4805
+  std::string Snapshot() const;
+
+  /// Zeroes every registered metric (registration survives). Test helper.
+  void ResetAll();
+
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ajr

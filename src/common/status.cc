@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

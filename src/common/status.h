@@ -22,6 +22,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kNotSupported,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -56,6 +58,12 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

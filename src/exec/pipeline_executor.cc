@@ -48,8 +48,8 @@ struct PipelineExecutor::LegRt {
   size_t probe_edge = SIZE_MAX;
   std::vector<size_t> applicable_edges;  ///< edges to preceding tables
   uint64_t incoming_since_check = 0;
-  /// Current inner-check interval (grows under back-off).
-  uint64_t check_interval = 10;
+  /// Inner-check interval schedule (grows under back-off).
+  CheckBackoff check_backoff;
 };
 
 namespace {
@@ -112,7 +112,7 @@ Status PipelineExecutor::InitLegs() {
   for (size_t t = 0; t < n; ++t) {
     LegRt& leg = legs_[t];
     leg.entry = plan_->entries[t];
-    leg.check_interval = options_.check_frequency;
+    leg.check_backoff = CheckBackoff(options_.check_frequency, options_.check_backoff);
     leg.inner_monitor = LegMonitor(options_.history_window, options_.averaging);
     leg.driving_monitor = DrivingMonitor(options_.history_window, options_.averaging);
     AJR_ASSIGN_OR_RETURN(leg.local_bound,
@@ -189,17 +189,10 @@ CostInputs PipelineExecutor::BuildRuntimeCostInputs(uint64_t min_leg_samples) co
     LegParams& p = in.tables[t];
     p.cardinality = static_cast<double>(leg.entry->StatsCardinality());
     p.index_height = leg.index_height;
-    double est = plan_->est_local_sel[t];
-    if (leg.inner_monitor.incoming_total() >= min_leg_samples) {
-      // Inner role sees all local predicates as residuals of the probe.
-      p.local_sel = leg.inner_monitor.LocalSel(est);
-    } else if (leg.driving_monitor.scanned_total() > 0) {
-      // Eq 9: S_LP = S_LPI (optimizer) * S_LPR (measured).
-      p.local_sel = plan_->access[t].driving.est_slpi *
-                    leg.driving_monitor.ResidualSel(1.0);
-    } else {
-      p.local_sel = est;
-    }
+    p.local_sel = EffectiveLocalSel(leg.inner_monitor, leg.driving_monitor,
+                                    plan_->est_local_sel[t],
+                                    plan_->access[t].driving.est_slpi,
+                                    min_leg_samples);
     // A demoted leg's positional predicate shrinks its effective
     // cardinality to the unprocessed remainder.
     if (leg.prefix.has_value()) {
@@ -335,11 +328,7 @@ void PipelineExecutor::DrivingCheck() {
   produced_since_check_ = 0;
   ++stats_.driving_checks;
   // Back-off bookkeeping: assume unproductive; a switch below resets it.
-  if (options_.check_backoff) {
-    driving_check_interval_ =
-        std::min(driving_check_interval_ * 2,
-                 options_.check_frequency * AdaptiveOptions::kMaxBackoff);
-  }
+  driving_backoff_.OnUnproductiveCheck();
   CostInputs in = BuildRuntimeCostInputs(options_.min_leg_samples);
   const size_t current = order_[0];
   const double current_remaining = RemainingEntries(current);
@@ -378,7 +367,7 @@ void PipelineExecutor::DrivingCheck() {
   auto decision = CheckDrivingSwitch(in, order_, candidates, options_);
   if (!decision.has_value()) return;
   ++stats_.driving_switches;
-  driving_check_interval_ = options_.check_frequency;
+  driving_backoff_.OnReorder();
   {
     std::string msg = StrCat("driving switch after ", stats_.driving_rows_produced,
                              " rows: ", plan_->query.tables[current].alias, " -> ",
@@ -416,17 +405,13 @@ void PipelineExecutor::DrivingCheck() {
 void PipelineExecutor::InnerCheck(size_t level) {
   LegRt& checking_leg = legs_[order_[level]];
   checking_leg.incoming_since_check = 0;
-  if (options_.check_backoff) {
-    checking_leg.check_interval =
-        std::min(checking_leg.check_interval * 2,
-                 options_.check_frequency * AdaptiveOptions::kMaxBackoff);
-  }
+  checking_leg.check_backoff.OnUnproductiveCheck();
   ++stats_.inner_checks;
   CostInputs in = BuildRuntimeCostInputs(kInnerMinSamples);
   auto tail = CheckInnerReorder(in, order_, level, options_.inner_benefit_epsilon);
   if (!tail.has_value()) return;
   ++stats_.inner_reorders;
-  checking_leg.check_interval = options_.check_frequency;
+  checking_leg.check_backoff.OnReorder();
   std::copy(tail->begin(), tail->end(), order_.begin() + level);
   RefreshPositions(level);
   {
@@ -463,13 +448,14 @@ void PipelineExecutor::Emit(const RowSink& sink) {
 }
 
 StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
-  if (legs_.empty()) {
-    AJR_RETURN_IF_ERROR(InitLegs());
-  } else {
-    return Status::Internal("PipelineExecutor is single-use");
+  if (executed_) {
+    return Status::Internal(
+        "PipelineExecutor is single-use: Execute() was already called");
   }
+  executed_ = true;
+  AJR_RETURN_IF_ERROR(InitLegs());
   order_ = plan_->initial_order;
-  driving_check_interval_ = options_.check_frequency;
+  driving_backoff_ = CheckBackoff(options_.check_frequency, options_.check_backoff);
   stats_ = ExecStats();
   stats_.initial_order = order_;
   AJR_RETURN_IF_ERROR(CreateDrivingCursor(order_[0]));
@@ -480,8 +466,14 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
   int level = 0;
   while (level >= 0) {
     if (level == 0) {
+      // The whole pipeline is depleted here (between driving rows): the
+      // cheapest safe point for the full cancel + deadline poll.
+      if (cancel_token_ != nullptr) {
+        StopReason stop = cancel_token_->Check();
+        if (stop != StopReason::kNone) return CancellationToken::ToStatus(stop);
+      }
       if (options_.reorder_driving && k > 1 &&
-          produced_since_check_ >= driving_check_interval_) {
+          produced_since_check_ >= driving_backoff_.interval()) {
         DrivingCheck();
       }
       if (!NextDrivingRow()) break;
@@ -506,9 +498,17 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
       }
     } else {
       // Depleted state for segment [level..k] (Sec 4.1): check & reorder.
+      // Also a safe cancellation point; the flag poll is one relaxed load,
+      // and the deadline (a clock read) is consulted every 1024th time so
+      // a query stuck under one pathological driving row still times out.
       leg.loaded = false;
+      if (cancel_token_ != nullptr) {
+        StopReason stop = (++cancel_polls_ & 1023) == 0 ? cancel_token_->Check()
+                                                        : cancel_token_->CheckFlag();
+        if (stop != StopReason::kNone) return CancellationToken::ToStatus(stop);
+      }
       if (options_.reorder_inners && static_cast<size_t>(level) + 1 < k &&
-          leg.incoming_since_check >= leg.check_interval) {
+          leg.incoming_since_check >= leg.check_backoff.interval()) {
         InnerCheck(static_cast<size_t>(level));
       }
       --level;

@@ -23,6 +23,7 @@
 
 #include "adaptive/controller.h"
 #include "adaptive/monitor.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/work_counter.h"
 #include "expr/evaluator.h"
@@ -63,8 +64,20 @@ class PipelineExecutor {
   ~PipelineExecutor();
 
   /// Runs the plan to completion, invoking `sink` per output row (sink may
-  /// be null to count only).
+  /// be null to count only). Returns Internal on a second call (the
+  /// executor is single-use), Cancelled / DeadlineExceeded when a
+  /// cancellation token stopped the run early.
   StatusOr<ExecStats> Execute(const RowSink& sink);
+
+  /// Installs a cooperative cancellation token, polled at the executor's
+  /// depleted states (the paper's reorder-check points, so no probe
+  /// hot-path cost): the cancel flag at every depleted state, the deadline
+  /// at driving-row boundaries and every 1024th inner depletion. `token`
+  /// must outlive Execute(); may be null (default) for non-cancellable
+  /// runs. Call before Execute().
+  void set_cancellation_token(const CancellationToken* token) {
+    cancel_token_ = token;
+  }
 
  private:
   struct LegRt;
@@ -97,7 +110,10 @@ class PipelineExecutor {
   std::vector<std::pair<size_t, size_t>> output_cols_;  // (table, column idx)
   WorkCounter wc_;
   uint64_t produced_since_check_ = 0;
-  uint64_t driving_check_interval_ = 10;
+  CheckBackoff driving_backoff_;
+  const CancellationToken* cancel_token_ = nullptr;
+  uint64_t cancel_polls_ = 0;
+  bool executed_ = false;
   ExecStats stats_;
 };
 

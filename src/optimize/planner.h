@@ -77,6 +77,11 @@ struct PlannerOptions {
 };
 
 /// Builds PipelinePlans from JoinQueries against a catalog.
+///
+/// Thread safety: Plan() is const, allocates only local state, and reads
+/// the catalog through its const surface, so one Planner instance serves
+/// concurrent planning calls from many threads (the query runtime relies on
+/// this). The catalog must be in its serve phase (see catalog/catalog.h).
 class Planner {
  public:
   explicit Planner(const Catalog* catalog, PlannerOptions options = {})

@@ -1,0 +1,24 @@
+#include "runtime/query_session.h"
+
+namespace ajr {
+
+const QueryResult& QueryHandle::Wait() const {
+  std::unique_lock<std::mutex> lock(session_->mu);
+  session_->cv.wait(lock, [this] { return session_->state == QueryState::kDone; });
+  return session_->result;
+}
+
+bool QueryHandle::WaitFor(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(session_->mu);
+  return session_->cv.wait_for(
+      lock, timeout, [this] { return session_->state == QueryState::kDone; });
+}
+
+bool QueryHandle::done() const { return state() == QueryState::kDone; }
+
+QueryState QueryHandle::state() const {
+  std::lock_guard<std::mutex> lock(session_->mu);
+  return session_->state;
+}
+
+}  // namespace ajr

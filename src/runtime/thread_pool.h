@@ -1,0 +1,54 @@
+// Fixed-size worker thread pool for the query engine.
+//
+// Deliberately minimal: a mutex-protected FIFO of std::function tasks and N
+// long-lived workers. Query execution is coarse-grained (milliseconds per
+// task), so a lock-free queue would buy nothing; what matters is clean
+// shutdown semantics, which are subtle enough to centralize here.
+//
+// Thread safety: Submit() may be called from any thread, including from
+// inside a task. Shutdown() drains queued tasks before joining; it is
+// idempotent and must not be called from inside a task.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ajr {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Calls Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false (task dropped) after Shutdown() began.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, runs everything already queued, joins workers.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  /// Queued (not yet started) tasks; monitoring only.
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ajr

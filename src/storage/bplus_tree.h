@@ -7,6 +7,14 @@
 //
 // The tree charges work units (node visits, entry scans) to an optional
 // WorkCounter so probe costs can be measured deterministically.
+//
+// Thread safety: every traversal entry point (SeekFirst/Seek/SeekAfter, the
+// Count* statistics, CheckInvariants) is const and mutates nothing inside
+// the tree; concurrent readers over a loaded tree are race-free, and each
+// Iterator is private to its caller (it holds the position, the tree holds
+// none). Insert/BulkLoad restructure nodes in place and require exclusive
+// access — build indexes before sharing the tree with the query runtime.
+// Per-query WorkCounters must not be shared across threads.
 
 #pragma once
 

@@ -5,6 +5,11 @@
 // leg can build its positional predicate), and can be resumed from a saved
 // position (so a re-promoted driving leg continues its original scan —
 // Sec 4.2's "the original cursor is also needed").
+//
+// Thread safety: cursors and probes are stateful per-query objects — one
+// owner thread each, never shared. They only *read* the underlying
+// HeapTable/BPlusTree (const pointers), so any number of cursors on any
+// number of threads may scan the same storage concurrently.
 
 #pragma once
 

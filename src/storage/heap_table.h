@@ -4,6 +4,13 @@
 // a well-defined physical scan order — the property the paper's
 // driving-table switch exploits to build positional predicates for table
 // scans ("RID > 100").
+//
+// Thread safety: the read path (num_rows, Get, Fetch, schema, name) is
+// const, touches no hidden mutable state, and is safe for any number of
+// concurrent readers — the concurrent query runtime shares one HeapTable
+// across all workers. Append/Reserve are writers and must not run
+// concurrently with anything else; the engine's contract is load first,
+// serve after (see runtime/query_engine.h).
 
 #pragma once
 

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   const size_t freqs[] = {1, 2, 5, 10, 20, 50, 100, 500, 1000};
   std::printf("%8s %14s %16s %14s\n", "c", "time_ratio", "avg_switches",
               "avg_checks");
+  JsonReport report("ablation_check_freq", flags);
   for (size_t c : freqs) {
     AdaptiveOptions options = Workbench::SwitchBoth();
     options.check_frequency = c;
@@ -45,6 +46,12 @@ int main(int argc, char** argv) {
     std::printf("%8zu %13.1f%% %16.2f %14.1f\n", c, 100.0 * ms / base_ms,
                 static_cast<double>(switches) / queries->size(),
                 static_cast<double>(checks) / queries->size());
+    std::string prefix = "c" + std::to_string(c);
+    report.AddMetric(prefix + "_time_ratio", ms / base_ms);
+    report.AddMetric(prefix + "_avg_switches",
+                     static_cast<double>(switches) / queries->size());
+    report.AddMetric(prefix + "_avg_checks",
+                     static_cast<double>(checks) / queries->size());
   }
   std::printf("\nExpected: very small c adds check overhead; very large c "
               "reacts too slowly;\nthe paper's default c=10 sits in the flat "

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   const double thresholds[] = {1.0, 1.05, 1.15, 1.3, 1.5, 2.0, 4.0};
   std::printf("%10s %14s %18s\n", "threshold", "time_ratio", "driving_switches");
+  JsonReport report("ablation_threshold", flags);
   for (double th : thresholds) {
     AdaptiveOptions options = Workbench::SwitchBoth();
     options.switch_benefit_threshold = th;
@@ -43,6 +44,11 @@ int main(int argc, char** argv) {
     }
     std::printf("%10.2f %13.1f%% %18.2f\n", th, 100.0 * ms / base_ms,
                 static_cast<double>(switches) / queries->size());
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "threshold_%.2f", th);
+    report.AddMetric(std::string(prefix) + "_time_ratio", ms / base_ms);
+    report.AddMetric(std::string(prefix) + "_avg_driving_switches",
+                     static_cast<double>(switches) / queries->size());
   }
   std::printf("\nExpected: a shallow optimum around 1.0-1.3; very high thresholds "
               "converge to the\nno-switch baseline.\n");

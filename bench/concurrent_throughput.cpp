@@ -149,6 +149,15 @@ int main(int argc, char** argv) {
 
   // ---- Report. ----
   const double n = static_cast<double>(queries.size());
+  JsonReport report("concurrent_throughput", flags.common);
+  report.AddMetric("workers", static_cast<double>(flags.workers));
+  report.AddMetric("serial_qps", n / serial_s);
+  report.AddMetric("concurrent_qps", n / conc_s);
+  report.AddMetric("speedup", serial_s / conc_s);
+  report.AddMetric("exec_latency_p50_ms", Percentile(exec_latency_ms, 0.50));
+  report.AddMetric("exec_latency_p95_ms", Percentile(exec_latency_ms, 0.95));
+  report.AddMetric("exec_latency_p99_ms", Percentile(exec_latency_ms, 0.99));
+  report.AddMetric("row_mismatches", static_cast<double>(mismatches));
   const Histogram* e2e = metrics.FindHistogram("engine.query_latency_us");
   std::printf("\nConcurrent throughput (%zu queries, %zu workers)\n",
               queries.size(), flags.workers);

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   const size_t windows[] = {10, 25, 50, 100, 200, 400, 500, 800, 1000, 1200};
   std::printf("%10s %22s %14s %22s %14s\n", "window w", "strict avg_switches",
               "time_ratio", "guarded avg_switches", "time_ratio");
+  JsonReport report("fig10_window", flags);
   for (size_t w : windows) {
     AdaptiveOptions strict = Workbench::PaperStrict();
     strict.history_window = w;
@@ -58,6 +59,13 @@ int main(int argc, char** argv) {
                 100.0 * strict_ms / base_ms,
                 static_cast<double>(guarded_switches) / queries->size(),
                 100.0 * guarded_ms / base_ms);
+    std::string prefix = "w" + std::to_string(w);
+    report.AddMetric(prefix + "_strict_avg_switches",
+                     static_cast<double>(strict_switches) / queries->size());
+    report.AddMetric(prefix + "_strict_time_ratio", strict_ms / base_ms);
+    report.AddMetric(prefix + "_guarded_avg_switches",
+                     static_cast<double>(guarded_switches) / queries->size());
+    report.AddMetric(prefix + "_guarded_time_ratio", guarded_ms / base_ms);
   }
   std::printf("\nPaper's Fig 10: many switches (fluctuation) at small w, "
               "stable (and beneficial)\nbehaviour once w >= 500. The strict "

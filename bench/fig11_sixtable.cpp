@@ -27,10 +27,13 @@ int main(int argc, char** argv) {
   std::printf("%-10s %12s %12s %8s %6s\n", "query", "noswitch_ms", "switch_ms",
               "speedup", "moves");
   ScatterSummary summary;
+  JsonReport report("fig11_sixtable", flags);
   for (const JoinQuery& q : *queries) {
     auto [base, adaptive] =
         bench.RunPair(q, Workbench::NoSwitch(), Workbench::SwitchBoth());
     summary.Add(base, adaptive);
+    report.AddRun("noswitch", base);
+    report.AddRun("switch_both", adaptive);
     std::printf("%-10s %12.3f %12.3f %8.2f %6lu\n", q.name.c_str(), base.wall_ms,
                 adaptive.wall_ms,
                 adaptive.wall_ms > 0 ? base.wall_ms / adaptive.wall_ms : 0.0,

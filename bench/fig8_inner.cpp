@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-9s %12s %12s %9s %9s %9s %13s\n", "template", "noswitch_ms",
               "inner_ms", "ratio", "wu_ratio", "changed", "ratio_changed");
+  JsonReport report("fig8_inner", flags);
   for (int t = 1; t <= kNumFourTableTemplates; ++t) {
     double base_ms = 0, inner_ms = 0;
     double base_wu = 0, inner_wu = 0;
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       auto [base, inner] = bench.RunPair(*q, Workbench::NoSwitch(), Workbench::InnerOnly());
+      report.AddRun("noswitch", base);
+      report.AddRun("inner_only", inner);
       base_ms += base.wall_ms;
       inner_ms += inner.wall_ms;
       base_wu += static_cast<double>(base.work_units);

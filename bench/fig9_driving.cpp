@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-9s %12s %12s %9s %9s %16s\n", "template", "noswitch_ms",
               "driving_ms", "ratio", "wu_ratio", "driving_switches");
+  JsonReport report("fig9_driving", flags);
   for (int t = 1; t <= kNumFourTableTemplates; ++t) {
     double base_ms = 0, driving_ms = 0;
     double base_wu = 0, driving_wu = 0;
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
       }
       auto [base, driving] =
           bench.RunPair(*q, Workbench::NoSwitch(), Workbench::DrivingOnly());
+      report.AddRun("noswitch", base);
+      report.AddRun("driving_only", driving);
       base_ms += base.wall_ms;
       driving_ms += driving.wall_ms;
       base_wu += static_cast<double>(base.work_units);

@@ -24,6 +24,11 @@ HarnessFlags HarnessFlags::Parse(int argc, char** argv) {
       flags.reps = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value("--seed=")) {
       flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      flags.json = true;
+    } else if (const char* v = value("--json=")) {
+      flags.json = true;
+      flags.json_path = v;
     } else if (std::strcmp(arg, "--stats=minimal") == 0) {
       flags.stats_tier = StatsTier::kMinimal;
     } else if (std::strcmp(arg, "--stats=base") == 0) {
@@ -159,6 +164,86 @@ AdaptiveOptions Workbench::PaperStrict() {
   o.min_edge_pairs = 1.0;
   o.min_leg_samples = 4;
   return o;
+}
+
+namespace {
+
+// Minimal JSON string escaping (query/config names are plain ASCII, but a
+// malformed file on odd input would be worse than the extra loop).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string name, const HarnessFlags& flags)
+    : name_(std::move(name)), enabled_(flags.json), flags_(flags) {
+  if (!enabled_) return;
+  path_ = flags.json_path.empty() ? "BENCH_" + name_ + ".json" : flags.json_path;
+}
+
+JsonReport::~JsonReport() { Finish(); }
+
+void JsonReport::AddRun(const std::string& config, const QueryRun& run) {
+  if (!enabled_) return;
+  std::string obj = "{\"query\":\"" + JsonEscape(run.name) + "\",\"config\":\"" +
+                    JsonEscape(config) + "\",\"wall_ms\":" + JsonNumber(run.wall_ms) +
+                    ",\"work_units\":" + std::to_string(run.work_units) +
+                    ",\"rows_out\":" + std::to_string(run.rows_out) +
+                    ",\"order_switches\":" + std::to_string(run.stats.order_switches()) +
+                    ",\"inner_reorders\":" + std::to_string(run.stats.inner_reorders) +
+                    ",\"driving_switches\":" + std::to_string(run.stats.driving_switches) +
+                    "}";
+  runs_.push_back(std::move(obj));
+}
+
+void JsonReport::AddMetric(const std::string& name, double value) {
+  if (!enabled_) return;
+  metrics_.push_back("{\"name\":\"" + JsonEscape(name) +
+                     "\",\"value\":" + JsonNumber(value) + "}");
+}
+
+void JsonReport::Finish() {
+  if (!enabled_ || written_) return;
+  written_ = true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(name_).c_str());
+  std::fprintf(f, "  \"owners\": %zu,\n  \"per_template\": %zu,\n  \"reps\": %zu,\n",
+               flags_.owners, flags_.per_template, flags_.reps);
+  std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(flags_.seed));
+  std::fprintf(f, "  \"runs\": [");
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    std::fprintf(f, "%s\n    %s", i == 0 ? "" : ",", runs_[i].c_str());
+  }
+  std::fprintf(f, "%s],\n", runs_.empty() ? "" : "\n  ");
+  std::fprintf(f, "  \"metrics\": [");
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    std::fprintf(f, "%s\n    %s", i == 0 ? "" : ",", metrics_[i].c_str());
+  }
+  std::fprintf(f, "%s]\n}\n", metrics_.empty() ? "" : "\n  ");
+  std::fclose(f);
+  std::printf("\nJSON results written to %s\n", path_.c_str());
 }
 
 void ScatterSummary::Add(const QueryRun& base, const QueryRun& adaptive) {

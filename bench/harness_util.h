@@ -7,6 +7,7 @@
 //   --per-template=N  query instances per template (default 60 -> ~300)
 //   --reps=N          timed repetitions per query (median reported)
 //   --seed=N          workload seed
+//   --json[=PATH]     also write machine-readable results (BENCH_<name>.json)
 
 #pragma once
 
@@ -35,6 +36,10 @@ struct HarnessFlags {
   /// (--stats=minimal); --stats=base / --stats=rich select the NDV/min-max
   /// and Sec 5.3 tiers.
   StatsTier stats_tier = StatsTier::kMinimal;
+  /// --json enables the JSON results file; --json=PATH overrides its path
+  /// (default: BENCH_<harness>.json in the working directory).
+  bool json = false;
+  std::string json_path;
 
   static HarnessFlags Parse(int argc, char** argv);
 };
@@ -84,6 +89,36 @@ class Workbench {
   Catalog catalog_;
   std::unique_ptr<Planner> planner_;
   DmvCardinalities cards_;
+};
+
+/// Machine-readable results next to the printed tables: when --json[=PATH]
+/// was given, every recorded run (wall time, work units, rows, order
+/// switches) and aggregate metric lands in one JSON file. Disabled-state
+/// calls are no-ops, so harnesses record unconditionally.
+class JsonReport {
+ public:
+  /// `name` identifies the harness (e.g. "fig7_scatter"); the file path is
+  /// flags.json_path, or BENCH_<name>.json when --json was given bare.
+  JsonReport(std::string name, const HarnessFlags& flags);
+  ~JsonReport();  // writes the file if Finish() was not called
+
+  bool enabled() const { return enabled_; }
+
+  /// Records one measured query run under a configuration label.
+  void AddRun(const std::string& config, const QueryRun& run);
+  /// Records one aggregate scalar (e.g. "concurrent_qps").
+  void AddMetric(const std::string& name, double value);
+  /// Writes the file once and prints its path; later calls are no-ops.
+  void Finish();
+
+ private:
+  std::string name_;
+  std::string path_;
+  bool enabled_ = false;
+  bool written_ = false;
+  HarnessFlags flags_;
+  std::vector<std::string> runs_;
+  std::vector<std::string> metrics_;
 };
 
 /// Formats a speedup table footer: total elapsed improvement, improvement

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
       {"driving-only checks", Workbench::DrivingOnly()},
       {"both", Workbench::SwitchBoth()},
   };
+  JsonReport report("overhead", flags);
+  const char* metric_names[] = {"inner_only", "driving_only", "both"};
+  size_t mode_idx = 0;
   for (const Mode& mode : modes) {
     double base_ms = 0, mon_ms = 0;
     size_t unchanged = 0;
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
       base_ms += base.wall_ms;
       mon_ms += mon.wall_ms;
     }
+    const char* metric = metric_names[mode_idx++];
     if (unchanged == 0) {
       std::printf("%-22s: no unchanged queries at this scale\n", mode.label);
       continue;
@@ -55,6 +59,10 @@ int main(int argc, char** argv) {
     std::printf("%-22s: %zu unchanged queries, overhead %+.2f%%  (%.2f ms -> %.2f ms)\n",
                 mode.label, unchanged, 100.0 * (mon_ms - base_ms) / base_ms, base_ms,
                 mon_ms);
+    report.AddMetric(std::string(metric) + "_overhead_pct",
+                     100.0 * (mon_ms - base_ms) / base_ms);
+    report.AddMetric(std::string(metric) + "_unchanged_queries",
+                     static_cast<double>(unchanged));
   }
   std::printf("\nPaper reports 0.68%% (inner) / 0.67%% (driving) overhead at c=10.\n");
   return 0;

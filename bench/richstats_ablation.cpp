@@ -30,10 +30,13 @@ int main(int argc, char** argv) {
   }
 
   ScatterSummary summary;
+  JsonReport report("richstats_ablation", flags);
   for (const JoinQuery& q : *queries) {
     auto [base, adaptive] =
         bench.RunPair(q, Workbench::NoSwitch(), Workbench::SwitchBoth());
     summary.Add(base, adaptive);
+    report.AddRun("noswitch_rich", base);
+    report.AddRun("switch_both_rich", adaptive);
   }
   summary.Print("NO SWITCH (rich stats)", "SWITCH BOTH (rich stats)");
   std::printf("\nPaper: even with sophisticated statistics collected, reordering "

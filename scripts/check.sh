@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-command verification: tier-1 build + full ctest, then the `stress`
+# labeled suite rebuilt under ThreadSanitizer (see ROADMAP.md).
+#
+#   scripts/check.sh            # full: tier-1 ctest + TSan stress pass
+#   scripts/check.sh --smoke    # quick sanity on already-built binaries:
+#                               # row-format checksum/speedup + stress suite,
+#                               # no reconfigure, no sanitizer rebuild
+#
+# The smoke mode is also registered as a CTest test (label `smoke`):
+#   ctest -L smoke
+# It deliberately avoids invoking ctest itself so it can run from inside it.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${AJR_BUILD_DIR:-${ROOT}/build}"
+BUILD_TSAN="${AJR_TSAN_BUILD_DIR:-${ROOT}/build-tsan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$smoke" == 1 ]]; then
+  # Runs built binaries directly (no ctest recursion, no rebuild): the
+  # row-format bench self-checks that typed pages and Value rows produce
+  # identical scan results, and the stress suite shakes the runtime.
+  echo "== smoke: row-format representation check =="
+  "${BUILD}/bench/row_format" --rows=20000 --iters=3
+  echo
+  echo "== smoke: runtime stress suite (unsanitized) =="
+  "${BUILD}/tests/engine_stress_test" --gtest_brief=1
+  echo
+  echo "smoke check OK"
+  exit 0
+fi
+
+echo "== tier-1: configure + build (${BUILD}) =="
+cmake -B "${BUILD}" -S "${ROOT}" >/dev/null
+cmake --build "${BUILD}" -j "${JOBS}"
+
+echo
+echo "== tier-1: full ctest =="
+ctest --test-dir "${BUILD}" -j "${JOBS}" --output-on-failure
+
+echo
+echo "== stress under ThreadSanitizer (${BUILD_TSAN}) =="
+cmake -B "${BUILD_TSAN}" -S "${ROOT}" -DAJR_SANITIZE=thread >/dev/null
+cmake --build "${BUILD_TSAN}" -j "${JOBS}" --target engine_stress_test
+ctest --test-dir "${BUILD_TSAN}" -L stress --output-on-failure
+
+echo
+echo "all checks OK"

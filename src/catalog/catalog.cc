@@ -61,19 +61,43 @@ Status Catalog::BuildIndex(const std::string& table_name, const std::string& col
   AJR_ASSIGN_OR_RETURN(size_t col_idx, entry->schema().ColumnIndex(column));
 
   const HeapTable& table = entry->table();
-  std::vector<IndexEntry> entries;
+  DataType key_type = entry->schema().column(col_idx).type;
+
+  // Build entries straight from page cells: numeric keys order-encode, and
+  // string keys reuse the table pool's ids (the tree shares the pool), so
+  // no Value is materialized per row.
+  std::vector<BPlusTree::EncodedEntry> entries;
   entries.reserve(table.num_rows());
-  for (Rid rid = 0; rid < table.num_rows(); ++rid) {
-    entries.push_back({table.Get(rid)[col_idx], rid});
+  if (key_type == DataType::kString) {
+    for (Rid rid = 0; rid < table.num_rows(); ++rid) {
+      entries.push_back({table.View(rid).GetStringId(col_idx), rid});
+    }
+    const StringPool& pool = table.pool();
+    std::sort(entries.begin(), entries.end(),
+              [&pool](const BPlusTree::EncodedEntry& a, const BPlusTree::EncodedEntry& b) {
+                int c = pool.Compare(static_cast<uint32_t>(a.key),
+                                     static_cast<uint32_t>(b.key));
+                if (c != 0) return c < 0;
+                return a.rid < b.rid;
+              });
+  } else {
+    for (Rid rid = 0; rid < table.num_rows(); ++rid) {
+      entries.push_back({OrderEncodeCell(table.View(rid).raw(col_idx), key_type), rid});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const BPlusTree::EncodedEntry& a, const BPlusTree::EncodedEntry& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.rid < b.rid;
+              });
   }
-  std::sort(entries.begin(), entries.end());
 
   auto info = std::make_unique<IndexInfo>();
   info->name = index_name;
   info->column = column;
   info->column_idx = col_idx;
-  info->tree = std::make_unique<BPlusTree>(entry->schema().column(col_idx).type, fanout);
-  AJR_RETURN_IF_ERROR(info->tree->BulkLoad(std::move(entries)));
+  info->tree = std::make_unique<BPlusTree>(
+      key_type, fanout, key_type == DataType::kString ? &table.pool() : nullptr);
+  AJR_RETURN_IF_ERROR(info->tree->BulkLoadEncoded(std::move(entries)));
   entry->indexes_.push_back(std::move(info));
   return Status::OK();
 }
@@ -85,10 +109,10 @@ ColumnStats ComputeColumnStats(const HeapTable& table, size_t col_idx,
   ColumnStats stats;
   std::unordered_map<Value, size_t, ValueHash> counts;
   for (Rid rid = 0; rid < table.num_rows(); ++rid) {
-    const Value& v = table.Get(rid)[col_idx];
+    Value v = table.View(rid).GetValue(col_idx);
     if (!stats.min.has_value() || v < *stats.min) stats.min = v;
     if (!stats.max.has_value() || v > *stats.max) stats.max = v;
-    counts[v]++;
+    counts[std::move(v)]++;
   }
   stats.ndv = counts.size();
   if (!options.rich || counts.empty()) return stats;
@@ -108,7 +132,7 @@ ColumnStats ComputeColumnStats(const HeapTable& table, size_t col_idx,
   std::vector<Value> sorted;
   sorted.reserve(table.num_rows());
   for (Rid rid = 0; rid < table.num_rows(); ++rid) {
-    sorted.push_back(table.Get(rid)[col_idx]);
+    sorted.push_back(table.View(rid).GetValue(col_idx));
   }
   std::sort(sorted.begin(), sorted.end());
   size_t buckets = std::min(options.histogram_buckets, sorted.size());

@@ -1,0 +1,27 @@
+// AJR_CHECK: always-on invariant checks for contract violations.
+//
+// The default build is RelWithDebInfo, which defines NDEBUG and compiles
+// `assert` out. Contract violations that would otherwise become silent
+// out-of-bounds reads (e.g. a stale Rid handed to HeapTable::Fetch) must
+// abort in every build mode, so hot-path bounds checks use AJR_CHECK.
+// The predicate is a single predictable branch; keep the condition cheap.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ajr {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "AJR_CHECK failed: %s (%s:%d)\n", cond, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ajr
+
+#define AJR_CHECK(cond)                                       \
+  do {                                                        \
+    if (!(cond)) ::ajr::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (0)

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "storage/key_codec.h"
 
 namespace ajr {
 
@@ -76,7 +77,8 @@ size_t CountRange(const BPlusTree& tree, const KeyRange& range) {
 size_t CountRangesAfter(const BPlusTree& tree, const std::vector<KeyRange>& ranges,
                         const std::optional<ScanPosition>& pos) {
   size_t at_or_before_pos =
-      pos.has_value() ? tree.size() - tree.CountEntriesAfter(pos->key, pos->rid) : 0;
+      pos.has_value() ? tree.size() - tree.CountEntriesAfter(pos->AsIndexKey(), pos->rid)
+                      : 0;
   size_t total = 0;
   for (const auto& r : ranges) {
     size_t in_range = CountRange(tree, r);
@@ -106,7 +108,7 @@ Status PipelineExecutor::InitLegs() {
   const JoinQuery& q = plan_->query;
   const size_t n = q.tables.size();
   legs_.resize(n);
-  current_rows_.assign(n, nullptr);
+  current_rows_.assign(n, RowView());
   edge_monitors_.assign(q.edges.size(),
                         EdgeMonitor(options_.history_window, options_.averaging));
   for (size_t t = 0; t < n; ++t) {
@@ -115,11 +117,15 @@ Status PipelineExecutor::InitLegs() {
     leg.check_backoff = CheckBackoff(options_.check_frequency, options_.check_backoff);
     leg.inner_monitor = LegMonitor(options_.history_window, options_.averaging);
     leg.driving_monitor = DrivingMonitor(options_.history_window, options_.averaging);
-    AJR_ASSIGN_OR_RETURN(leg.local_bound,
-                         BindPredicate(q.local_predicates[t], leg.entry->schema()));
+    // Bind against the table's string pool so string-equality constants
+    // lower to interned-id compares.
+    const StringPool* pool = &leg.entry->table().pool();
+    AJR_ASSIGN_OR_RETURN(
+        leg.local_bound,
+        BindPredicate(q.local_predicates[t], leg.entry->schema(), pool));
     AJR_ASSIGN_OR_RETURN(
         leg.driving_residual,
-        BindPredicate(plan_->access[t].driving.residual, leg.entry->schema()));
+        BindPredicate(plan_->access[t].driving.residual, leg.entry->schema(), pool));
     leg.edge_col.assign(q.edges.size(), SIZE_MAX);
     for (const auto& e : q.edges) {
       if (!e.Touches(t)) continue;
@@ -231,11 +237,11 @@ bool PipelineExecutor::NextDrivingRow() {
   LegRt& leg = legs_[t];
   Rid rid;
   while (leg.cursor->Next(&wc_, &rid)) {
-    const Row& row = leg.entry->table().Fetch(rid, &wc_);
+    RowView row = leg.entry->table().Fetch(rid, &wc_);
     bool pass = leg.driving_residual->EvalCounted(row, &wc_);
     leg.driving_monitor.RecordScannedEntry(pass);
     if (!pass) continue;
-    current_rows_[t] = &row;
+    current_rows_[t] = row;
     ++produced_since_check_;
     ++stats_.driving_rows_produced;
     return true;
@@ -255,15 +261,15 @@ void PipelineExecutor::ProbeLeg(size_t level) {
   const double table_card = static_cast<double>(leg.entry->table().num_rows());
 
   double fetched = 0, after_edges = 0, out = 0;
-  auto consider = [&](Rid rid, const Row& row, bool probe_edge_known_to_match) {
+  auto consider = [&](Rid rid, const RowView& row, bool probe_edge_known_to_match) {
     // Residual join predicates (edges other than the probe edge).
     for (size_t e2 : leg.applicable_edges) {
       if (e2 == leg.probe_edge && probe_edge_known_to_match) continue;
       const JoinEdge& edge = q.edges[e2];
       size_t other = edge.Other(t);
       ChargeWork(&wc_, WorkCounter::kPredicateEval);
-      bool eq = row[leg.edge_col[e2]] ==
-                (*current_rows_[other])[legs_[other].edge_col[e2]];
+      bool eq = row.CellEquals(leg.edge_col[e2], current_rows_[other],
+                               legs_[other].edge_col[e2]);
       if (e2 != leg.probe_edge) edge_monitors_[e2].Record(1, eq ? 1 : 0);
       if (!eq) return;
     }
@@ -274,7 +280,7 @@ void PipelineExecutor::ProbeLeg(size_t level) {
       ChargeWork(&wc_, WorkCounter::kPredicateEval);
       bool after = leg.prefix_col == SIZE_MAX
                        ? leg.prefix->StrictlyBeforeRid(rid)
-                       : leg.prefix->StrictlyBefore(row[leg.prefix_col], rid);
+                       : leg.prefix->StrictlyBefore(row, leg.prefix_col, rid);
       if (!after) return;
     }
     out += 1;
@@ -287,12 +293,15 @@ void PipelineExecutor::ProbeLeg(size_t level) {
   if (probe_index != nullptr) {
     const JoinEdge& edge = q.edges[leg.probe_edge];
     size_t other = edge.Other(t);
-    const Value& key = (*current_rows_[other])[legs_[other].edge_col[leg.probe_edge]];
+    // Probe with the other side's cell directly — no Value materialization;
+    // string keys borrow bytes from the other table's pool (stable storage).
+    IndexKey key = EncodeKeyFromCell(current_rows_[other],
+                                     legs_[other].edge_col[leg.probe_edge]);
     IndexProbe probe(probe_index->tree.get());
     probe.Seek(key, &wc_);
     Rid rid;
     while (probe.Next(&wc_, &rid)) {
-      const Row& row = leg.entry->table().Fetch(rid, &wc_);
+      RowView row = leg.entry->table().Fetch(rid, &wc_);
       fetched += 1;
       consider(rid, row, /*probe_edge_known_to_match=*/true);
     }
@@ -302,11 +311,13 @@ void PipelineExecutor::ProbeLeg(size_t level) {
     // workload, kept for generality).
     const JoinEdge& edge = q.edges[leg.probe_edge];
     size_t other = edge.Other(t);
-    const Value& key = (*current_rows_[other])[legs_[other].edge_col[leg.probe_edge]];
+    const RowView& other_row = current_rows_[other];
+    size_t other_col = legs_[other].edge_col[leg.probe_edge];
+    size_t my_col = leg.edge_col[leg.probe_edge];
     for (Rid rid = 0; rid < leg.entry->table().num_rows(); ++rid) {
-      const Row& row = leg.entry->table().Fetch(rid, &wc_);
+      RowView row = leg.entry->table().Fetch(rid, &wc_);
       ChargeWork(&wc_, WorkCounter::kPredicateEval);
-      if (!(row[leg.edge_col[leg.probe_edge]] == key)) continue;
+      if (!row.CellEquals(my_col, other_row, other_col)) continue;
       fetched += 1;
       consider(rid, row, /*probe_edge_known_to_match=*/true);
     }
@@ -315,7 +326,7 @@ void PipelineExecutor::ProbeLeg(size_t level) {
     // Cartesian leg (validated queries are connected, so unreachable), but
     // stay total: every row is a candidate.
     for (Rid rid = 0; rid < leg.entry->table().num_rows(); ++rid) {
-      const Row& row = leg.entry->table().Fetch(rid, &wc_);
+      RowView row = leg.entry->table().Fetch(rid, &wc_);
       fetched += 1;
       consider(rid, row, false);
     }
@@ -438,11 +449,12 @@ void PipelineExecutor::InnerCheck(size_t level) {
 
 void PipelineExecutor::Emit(const RowSink& sink) {
   ++stats_.rows_out;
+  // Null-sink fast path: count-only runs never materialize Values.
   if (!sink) return;
   Row out;
   out.reserve(output_cols_.size());
   for (const auto& [t, col] : output_cols_) {
-    out.push_back((*current_rows_[t])[col]);
+    out.push_back(current_rows_[t].GetValue(col));
   }
   sink(out);
 }
@@ -489,7 +501,7 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
     if (!leg.loaded) ProbeLeg(static_cast<size_t>(level));
     if (leg.match_pos < leg.matches.size()) {
       Rid rid = leg.matches[leg.match_pos++];
-      current_rows_[order_[level]] = &leg.entry->table().Get(rid);
+      current_rows_[order_[level]] = leg.entry->table().View(rid);
       if (static_cast<size_t>(level) + 1 == k) {
         Emit(sink);
       } else {

@@ -105,7 +105,9 @@ class PipelineExecutor {
   AdaptiveOptions options_;
   std::vector<LegRt> legs_;        // indexed by query table index
   std::vector<size_t> order_;      // pipeline order; order_[0] = driving
-  std::vector<const Row*> current_rows_;
+  /// Current row of each table as a zero-copy view into its typed pages;
+  /// owned Rows exist only at the Emit projection boundary.
+  std::vector<RowView> current_rows_;
   std::vector<EdgeMonitor> edge_monitors_;
   std::vector<std::pair<size_t, size_t>> output_cols_;  // (table, column idx)
   WorkCounter wc_;

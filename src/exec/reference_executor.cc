@@ -34,7 +34,8 @@ StatusOr<std::vector<Row>> ExecuteReference(const Catalog& catalog,
                          catalog.GetTable(query.tables[t].table));
     entries[t] = entry;
     AJR_ASSIGN_OR_RETURN(local[t],
-                         BindPredicate(query.local_predicates[t], entry->schema()));
+                         BindPredicate(query.local_predicates[t], entry->schema(),
+                                       &entry->table().pool()));
     edge_col[t].assign(query.edges.size(), SIZE_MAX);
     for (const auto& e : query.edges) {
       if (!e.Touches(t)) continue;
@@ -54,12 +55,12 @@ StatusOr<std::vector<Row>> ExecuteReference(const Catalog& catalog,
   for (size_t t = 0; t < n; ++t) {
     const HeapTable& table = entries[t]->table();
     for (Rid rid = 0; rid < table.num_rows(); ++rid) {
-      if (local[t]->Eval(table.Get(rid))) candidates[t].push_back(rid);
+      if (local[t]->Eval(table.View(rid))) candidates[t].push_back(rid);
     }
   }
 
   std::vector<Row> out;
-  std::vector<const Row*> current(n, nullptr);
+  std::vector<RowView> current(n);
   // Depth-first enumeration in query-table order; each level checks the
   // join edges to already-bound tables.
   struct Enumerator {
@@ -68,30 +69,32 @@ StatusOr<std::vector<Row>> ExecuteReference(const Catalog& catalog,
     const std::vector<std::vector<Rid>>& candidates;
     const std::vector<std::vector<size_t>>& edge_col;
     const std::vector<std::pair<size_t, size_t>>& output_cols;
-    std::vector<const Row*>& current;
+    std::vector<RowView>& current;
     std::vector<Row>& out;
 
     void Recurse(size_t t) {
       if (t == query.tables.size()) {
         Row row;
         row.reserve(output_cols.size());
-        for (const auto& [ot, col] : output_cols) row.push_back((*current[ot])[col]);
+        for (const auto& [ot, col] : output_cols) {
+          row.push_back(current[ot].GetValue(col));
+        }
         out.push_back(std::move(row));
         return;
       }
       for (Rid rid : candidates[t]) {
-        const Row& row = entries[t]->table().Get(rid);
+        RowView row = entries[t]->table().View(rid);
         bool pass = true;
         for (const auto& e : query.edges) {
           if (!e.Touches(t) || e.Other(t) >= t) continue;
-          if (!(row[edge_col[t][e.edge_id]] ==
-                (*current[e.Other(t)])[edge_col[e.Other(t)][e.edge_id]])) {
+          if (!row.CellEquals(edge_col[t][e.edge_id], current[e.Other(t)],
+                              edge_col[e.Other(t)][e.edge_id])) {
             pass = false;
             break;
           }
         }
         if (!pass) continue;
-        current[t] = &row;
+        current[t] = row;
         Recurse(t + 1);
       }
     }

@@ -24,35 +24,49 @@ Status TableScanCursor::ResumeFrom(const ScanPosition& pos) {
   return Status::OK();
 }
 
+IndexScanCursor::IndexScanCursor(const BPlusTree* tree, std::vector<KeyRange> ranges)
+    : tree_(tree), ranges_(std::move(ranges)) {
+  lo_.reserve(ranges_.size());
+  hi_.reserve(ranges_.size());
+  for (const KeyRange& r : ranges_) {
+    Bound lo, hi;
+    if (r.lo.has_value()) lo = {true, EncodeKey(*r.lo), r.lo_inclusive};
+    if (r.hi.has_value()) hi = {true, EncodeKey(*r.hi), r.hi_inclusive};
+    lo_.push_back(lo);
+    hi_.push_back(hi);
+  }
+}
+
 void IndexScanCursor::Reset() {
   started_ = false;
   range_idx_ = 0;
   pending_.reset();
-  last_.reset();
+  has_last_ = false;
+  resumed_.reset();
   iter_ = BPlusTree::Iterator();
 }
 
 bool IndexScanCursor::BeforeRangeLo() const {
-  const KeyRange& r = ranges_[range_idx_];
-  if (!r.lo.has_value()) return false;
-  int c = iter_.key().Compare(*r.lo);
-  if (c != 0) return c < 0;
-  return !r.lo_inclusive;  // sitting exactly on an exclusive lower bound
+  const Bound& b = lo_[range_idx_];
+  if (!b.present) return false;
+  int c = tree_->CompareProbe(b.key, iter_.key_slot());
+  if (c != 0) return c > 0;  // bound above the key => key below the bound
+  return !b.inclusive;       // sitting exactly on an exclusive lower bound
 }
 
 bool IndexScanCursor::PastRangeHi() const {
-  const KeyRange& r = ranges_[range_idx_];
-  if (!r.hi.has_value()) return false;
-  int c = iter_.key().Compare(*r.hi);
-  if (c != 0) return c > 0;
-  return !r.hi_inclusive;
+  const Bound& b = hi_[range_idx_];
+  if (!b.present) return false;
+  int c = tree_->CompareProbe(b.key, iter_.key_slot());
+  if (c != 0) return c < 0;
+  return !b.inclusive;
 }
 
 void IndexScanCursor::AlignToRanges(WorkCounter* wc) {
   while (iter_.Valid() && range_idx_ < ranges_.size()) {
     if (BeforeRangeLo()) {
-      const KeyRange& r = ranges_[range_idx_];
-      iter_ = tree_->Seek(*r.lo, r.lo_inclusive, wc);
+      const Bound& b = lo_[range_idx_];
+      iter_ = tree_->Seek(b.key, b.inclusive, wc);
       continue;
     }
     if (PastRangeHi()) {
@@ -71,9 +85,8 @@ bool IndexScanCursor::Next(WorkCounter* wc, Rid* rid) {
   } else if (!started_) {
     started_ = true;
     if (ranges_.empty()) return false;
-    const KeyRange& r = ranges_.front();
-    iter_ = r.lo.has_value() ? tree_->Seek(*r.lo, r.lo_inclusive, wc)
-                             : tree_->SeekFirst(wc);
+    const Bound& b = lo_.front();
+    iter_ = b.present ? tree_->Seek(b.key, b.inclusive, wc) : tree_->SeekFirst(wc);
   } else {
     if (!iter_.Valid()) return false;
     iter_.Next(wc);
@@ -81,13 +94,19 @@ bool IndexScanCursor::Next(WorkCounter* wc, Rid* rid) {
   AlignToRanges(wc);
   if (!iter_.Valid()) return false;
   *rid = iter_.rid();
-  last_ = ScanPosition::AtKeyRid(iter_.key(), iter_.rid());
+  last_key_ = iter_.key_slot();
+  last_rid_ = iter_.rid();
+  has_last_ = true;
   return true;
 }
 
 ScanPosition IndexScanCursor::CurrentPosition() const {
-  assert(last_.has_value() && "CurrentPosition before first Next");
-  return *last_;
+  if (has_last_) {
+    return ScanPosition::AtKeyRid(tree_->DecodeKey(last_key_), last_rid_);
+  }
+  // No row produced since ResumeFrom: report the resumed-from point.
+  assert(resumed_.has_value() && "CurrentPosition before first Next");
+  return *resumed_;
 }
 
 Status IndexScanCursor::ResumeFrom(const ScanPosition& pos) {
@@ -97,19 +116,30 @@ Status IndexScanCursor::ResumeFrom(const ScanPosition& pos) {
   }
   started_ = true;
   range_idx_ = 0;
-  last_ = pos;
-  pending_ = tree_->SeekAfter(pos.key, pos.rid, nullptr);
+  pending_ = tree_->SeekAfter(pos.AsIndexKey(), pos.rid, nullptr);
+  resumed_ = pos;
+  has_last_ = false;
   return Status::OK();
 }
 
-void IndexProbe::Seek(const Value& key, WorkCounter* wc) {
+void IndexProbe::Seek(const IndexKey& key, WorkCounter* wc) {
   key_ = key;
-  iter_ = tree_->Seek(key, /*inclusive=*/true, wc);
+  iter_ = tree_->Seek(key_, /*inclusive=*/true, wc);
+}
+
+void IndexProbe::Seek(const Value& key, WorkCounter* wc) {
+  if (key.type() == DataType::kString) {
+    owned_str_ = key.AsString();
+    key_ = IndexKey::String(owned_str_);
+  } else {
+    key_ = EncodeKey(key);
+  }
+  iter_ = tree_->Seek(key_, /*inclusive=*/true, wc);
 }
 
 bool IndexProbe::Next(WorkCounter* wc, Rid* rid) {
   if (!iter_.Valid()) return false;
-  if (iter_.key().Compare(key_) != 0) return false;
+  if (!tree_->ProbeEquals(key_, iter_.key_slot())) return false;
   *rid = iter_.rid();
   iter_.Next(wc);
   return true;

@@ -6,6 +6,10 @@
 // position (so a re-promoted driving leg continues its original scan —
 // Sec 4.2's "the original cursor is also needed").
 //
+// Range bounds are encoded to probe form (IndexKey) once at construction;
+// per-row range checks and the remembered position are integer compares on
+// key slots, not Value comparisons.
+//
 // Thread safety: cursors and probes are stateful per-query objects — one
 // owner thread each, never shared. They only *read* the underlying
 // HeapTable/BPlusTree (const pointers), so any number of cursors on any
@@ -15,6 +19,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -22,6 +27,7 @@
 #include "expr/range_extraction.h"
 #include "storage/bplus_tree.h"
 #include "storage/heap_table.h"
+#include "storage/key_codec.h"
 #include "storage/scan_position.h"
 
 namespace ajr {
@@ -68,8 +74,7 @@ class TableScanCursor final : public ScanCursor {
 /// sorted and disjoint (as produced by ExtractRanges / NormalizeRanges).
 class IndexScanCursor final : public ScanCursor {
  public:
-  IndexScanCursor(const BPlusTree* tree, std::vector<KeyRange> ranges)
-      : tree_(tree), ranges_(std::move(ranges)) {}
+  IndexScanCursor(const BPlusTree* tree, std::vector<KeyRange> ranges);
 
   bool Next(WorkCounter* wc, Rid* rid) override;
   ScanPosition CurrentPosition() const override;
@@ -78,6 +83,14 @@ class IndexScanCursor final : public ScanCursor {
   ScanOrder order() const override { return ScanOrder::kKeyRidOrder; }
 
  private:
+  /// One range bound in probe form; str views point into ranges_ (owned by
+  /// this cursor), so they are stable for the cursor's lifetime.
+  struct Bound {
+    bool present = false;
+    IndexKey key;
+    bool inclusive = false;
+  };
+
   // Moves iter_ forward until it sits inside some range (possibly reseeking
   // at range lower bounds); leaves it invalid when all ranges are exhausted.
   void AlignToRanges(WorkCounter* wc);
@@ -87,13 +100,19 @@ class IndexScanCursor final : public ScanCursor {
 
   const BPlusTree* tree_;
   std::vector<KeyRange> ranges_;
+  std::vector<Bound> lo_, hi_;  ///< encoded bounds, parallel to ranges_
   BPlusTree::Iterator iter_;
   size_t range_idx_ = 0;
   bool started_ = false;
   // Set by ResumeFrom: the next Next() consumes this iterator rather than
   // advancing.
   std::optional<BPlusTree::Iterator> pending_;
-  std::optional<ScanPosition> last_;
+  // Last-returned entry (cheap slot form; materialized by CurrentPosition).
+  uint64_t last_key_ = 0;
+  Rid last_rid_ = 0;
+  bool has_last_ = false;
+  // Position handed to ResumeFrom, reported until the next row is produced.
+  std::optional<ScanPosition> resumed_;
 };
 
 /// Point-probe helper for inner legs: for one join-key value, yields all
@@ -102,7 +121,11 @@ class IndexProbe {
  public:
   explicit IndexProbe(const BPlusTree* tree) : tree_(tree) {}
 
-  /// Starts a probe for `key` (charges the traversal).
+  /// Starts a probe for `key` (charges the traversal). The caller keeps the
+  /// key's string bytes alive until the probe is re-seeked or destroyed.
+  void Seek(const IndexKey& key, WorkCounter* wc);
+
+  /// Value-form Seek (tests / cold paths): copies string bytes locally.
   void Seek(const Value& key, WorkCounter* wc);
 
   /// Yields the next RID whose entry key equals the probed key.
@@ -111,7 +134,8 @@ class IndexProbe {
  private:
   const BPlusTree* tree_;
   BPlusTree::Iterator iter_;
-  Value key_;
+  IndexKey key_;
+  std::string owned_str_;  ///< backing for Value-form string seeks
 };
 
 }  // namespace ajr

@@ -1,0 +1,29 @@
+#include "types/string_pool.h"
+
+#include "common/check.h"
+
+namespace ajr {
+
+uint32_t StringPool::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  AJR_CHECK(strings_.size() < kInvalidId);
+  strings_.emplace_back(s);
+  uint32_t id = static_cast<uint32_t>(strings_.size() - 1);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  bytes_ += s.size();
+  return id;
+}
+
+std::optional<uint32_t> StringPool::Find(std::string_view s) const {
+  auto it = ids_.find(s);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view StringPool::Get(uint32_t id) const {
+  AJR_CHECK(id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace ajr

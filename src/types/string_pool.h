@@ -1,0 +1,57 @@
+// StringPool: append-only interned-string dictionary.
+//
+// Typed row pages store every string column as a 32-bit pool id; the bytes
+// live once in the owning table's pool. Ids are assigned in first-seen order
+// and are therefore NOT ordered like the strings — code that needs string
+// order (B+-tree comparators, positional predicates) resolves ids back to
+// bytes through the pool. Equality within one pool, however, is a single id
+// compare, which is what the join probe loop lives on.
+//
+// Thread safety: build-then-serve, like the rest of storage. Intern() is a
+// writer and must be confined to the load phase; Find()/Get() are const and
+// safe for any number of concurrent readers afterwards.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ajr {
+
+/// Interns strings to dense uint32 ids with stable backing storage.
+class StringPool {
+ public:
+  static constexpr uint32_t kInvalidId = UINT32_MAX;
+
+  /// Returns the id for `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// Id of `s` if already interned; nullopt otherwise. Never mutates.
+  std::optional<uint32_t> Find(std::string_view s) const;
+
+  /// The bytes for `id`. The view is stable for the pool's lifetime.
+  std::string_view Get(uint32_t id) const;
+
+  /// Three-way byte compare of two interned strings.
+  int Compare(uint32_t a, uint32_t b) const {
+    int c = Get(a).compare(Get(b));
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+
+  size_t size() const { return strings_.size(); }
+  /// Total interned bytes (diagnostics).
+  size_t bytes() const { return bytes_; }
+
+ private:
+  // deque keeps element addresses stable across growth, so the string_view
+  // keys in ids_ (and views handed to callers) never dangle.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace ajr

@@ -80,22 +80,42 @@ std::string Value::ToString() const {
 }
 
 size_t Value::Hash() const {
-  size_t seed = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
-  size_t h = 0;
+  // INT64 and DOUBLE compare equal cross-type when numerically equal
+  // (Compare above), so Hash must agree: any INT64 that is exactly
+  // representable as double hashes through its double image. Integers
+  // beyond 2^53 can't equal any DOUBLE they don't bit-roundtrip to, so
+  // hashing them as int64 is safe.
   switch (type()) {
-    case DataType::kBool:
-      h = std::hash<bool>()(AsBool());
-      break;
-    case DataType::kInt64:
-      h = std::hash<int64_t>()(AsInt64());
-      break;
+    case DataType::kInt64: {
+      int64_t i = AsInt64();
+      double d = static_cast<double>(i);
+      if (static_cast<int64_t>(d) == i) return HashNumeric(d);
+      size_t seed = static_cast<size_t>(DataType::kInt64) * 0x9e3779b97f4a7c15ULL;
+      return Mix(seed, std::hash<int64_t>()(i));
+    }
     case DataType::kDouble:
-      h = std::hash<double>()(AsDouble());
-      break;
-    case DataType::kString:
-      h = std::hash<std::string>()(AsString());
-      break;
+      return HashNumeric(AsDouble());
+    case DataType::kBool: {
+      size_t seed = static_cast<size_t>(DataType::kBool) * 0x9e3779b97f4a7c15ULL;
+      return Mix(seed, std::hash<bool>()(AsBool()));
+    }
+    case DataType::kString: {
+      size_t seed = static_cast<size_t>(DataType::kString) * 0x9e3779b97f4a7c15ULL;
+      return Mix(seed, std::hash<std::string>()(AsString()));
+    }
   }
+  return 0;
+}
+
+size_t Value::HashNumeric(double d) {
+  // Shared hash domain for numerically-equal INT64/DOUBLE values. -0.0
+  // compares equal to 0.0, so normalize before hashing the bits.
+  if (d == 0.0) d = 0.0;
+  size_t seed = static_cast<size_t>(DataType::kDouble) * 0x9e3779b97f4a7c15ULL;
+  return Mix(seed, std::hash<double>()(d));
+}
+
+size_t Value::Mix(size_t seed, size_t h) {
   return seed ^ (h + 0x9e3779b9 + (seed << 6) + (seed >> 2));
 }
 

@@ -63,10 +63,14 @@ class Value {
   /// Renders the value for debugging/benchmark output.
   std::string ToString() const;
 
-  /// Hash consistent with operator== for same-type values.
+  /// Hash consistent with operator==, including the INT64↔DOUBLE numeric
+  /// cross-compare: Value(3) and Value(3.0) compare equal and hash equal.
   size_t Hash() const;
 
  private:
+  static size_t HashNumeric(double d);
+  static size_t Mix(size_t seed, size_t h);
+
   std::variant<bool, int64_t, double, std::string> v_;
 };
 

@@ -342,20 +342,23 @@ StatusOr<DmvCardinalities> GenerateDmv(Catalog* catalog, const DmvConfig& config
     p.salary = SampleSalary(&owner_rng, p.tier);
 
     const CountryDef& residence = countries[p.country_idx];
-    AJR_RETURN_IF_ERROR(owner->table()
-                            .Append({Value(static_cast<int64_t>(i)),
-                                     Value(StrCat("owner_", i)),
-                                     Value(countries[origin_idx].name),
-                                     Value(residence.iso),
-                                     Value(residence.cities[city_idx]),
-                                     Value(p.age)})
-                            .status());
-    AJR_RETURN_IF_ERROR(
-        demo->table()
-            .Append({Value(static_cast<int64_t>(i)), Value(p.salary), Value(p.age),
-                     Value(static_cast<int64_t>(children_zipf.Sample(&owner_rng))),
-                     Value(owner_rng.NextInt64(0, 4))})
-            .status());
+    owner->table()
+        .NewRow()
+        .I64(static_cast<int64_t>(i))
+        .Str(StrCat("owner_", i))
+        .Str(countries[origin_idx].name)
+        .Str(residence.iso)
+        .Str(residence.cities[city_idx])
+        .I64(p.age)
+        .Finish();
+    demo->table()
+        .NewRow()
+        .I64(static_cast<int64_t>(i))
+        .I64(p.salary)
+        .I64(p.age)
+        .I64(static_cast<int64_t>(children_zipf.Sample(&owner_rng)))
+        .I64(owner_rng.NextInt64(0, 4))
+        .Finish();
   }
 
   // ---- Pass 2: cars -------------------------------------------------------
@@ -389,12 +392,15 @@ StatusOr<DmvCardinalities> GenerateDmv(Catalog* catalog, const DmvConfig& config
       double age_exp = make.tier == 2 ? 1.8 : 1.1;
       int64_t year = kCurrentYear - static_cast<int64_t>(
                                         22 * std::pow(car_rng.NextDouble(), age_exp));
-      AJR_RETURN_IF_ERROR(
-          car->table()
-              .Append({Value(car_id), Value(static_cast<int64_t>(i)),
-                       Value(make.name), Value(make.models[model_idx]), Value(year),
-                       Value(colors[color_zipf.Sample(&car_rng)])})
-              .status());
+      car->table()
+          .NewRow()
+          .I64(car_id)
+          .I64(static_cast<int64_t>(i))
+          .Str(make.name)
+          .Str(make.models[model_idx])
+          .I64(year)
+          .Str(colors[color_zipf.Sample(&car_rng)])
+          .Finish();
       car_profiles.push_back({i, make_idx, year});
       ++car_id;
     }
@@ -404,23 +410,26 @@ StatusOr<DmvCardinalities> GenerateDmv(Catalog* catalog, const DmvConfig& config
   for (size_t i = 0; i < config.num_locations; ++i) {
     size_t ci = country_zipf.Sample(&loc_rng);
     size_t city_idx = city_zipf.Sample(&loc_rng);
-    AJR_RETURN_IF_ERROR(loc->table()
-                            .Append({Value(static_cast<int64_t>(i)),
-                                     Value(countries[ci].cities[city_idx]),
-                                     Value(StrCat("state_", loc_rng.NextInt64(0, 49))),
-                                     Value(loc_rng.NextBool(0.3) ? int64_t{1}
-                                                                 : int64_t{0})})
-                            .status());
+    loc->table()
+        .NewRow()
+        .I64(static_cast<int64_t>(i))
+        .Str(countries[ci].cities[city_idx])
+        .Str(StrCat("state_", loc_rng.NextInt64(0, 49)))
+        .I64(loc_rng.NextBool(0.3) ? 1 : 0)
+        .Finish();
   }
   {
     static const int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
                                          31, 31, 30, 31, 30, 31};
     int64_t year = 1997, month = 1, day = 1;
     for (size_t i = 0; i < config.num_time_rows; ++i) {
-      AJR_RETURN_IF_ERROR(time->table()
-                              .Append({Value(static_cast<int64_t>(i)), Value(year),
-                                       Value(month), Value(day)})
-                              .status());
+      time->table()
+          .NewRow()
+          .I64(static_cast<int64_t>(i))
+          .I64(year)
+          .I64(month)
+          .I64(day)
+          .Finish();
       int dim = kDaysInMonth[month - 1];
       if (month == 2 && (year % 4 == 0 && (year % 100 != 0 || year % 400 == 0))) {
         dim = 29;
@@ -456,19 +465,20 @@ StatusOr<DmvCardinalities> GenerateDmv(Catalog* catalog, const DmvConfig& config
     for (int k = 0; k < acc_counts[c]; ++k) {
       // Favor recent dates: invert the zipf head onto the latest time rows.
       size_t timeid = config.num_time_rows - 1 - time_zipf.Sample(&acc_rng);
-      int64_t year = time->table().Get(timeid)[1].AsInt64();
+      int64_t year = time->table().View(timeid).GetInt64(1);
       std::string driver = acc_rng.NextBool(0.8)
                                ? StrCat("owner_", cp.owner)
                                : StrCat("driver_", acc_rng.NextInt64(0, 99999));
-      AJR_RETURN_IF_ERROR(
-          acc->table()
-              .Append({Value(acc_id), Value(static_cast<int64_t>(c)), Value(driver),
-                       Value(year),
-                       Value(static_cast<int64_t>(
-                           1 + seriousness_zipf.Sample(&acc_rng))),
-                       Value(static_cast<int64_t>(location_zipf.Sample(&acc_rng))),
-                       Value(static_cast<int64_t>(timeid))})
-              .status());
+      acc->table()
+          .NewRow()
+          .I64(acc_id)
+          .I64(static_cast<int64_t>(c))
+          .Str(driver)
+          .I64(year)
+          .I64(static_cast<int64_t>(1 + seriousness_zipf.Sample(&acc_rng)))
+          .I64(static_cast<int64_t>(location_zipf.Sample(&acc_rng)))
+          .I64(static_cast<int64_t>(timeid))
+          .Finish();
       ++acc_id;
     }
   }

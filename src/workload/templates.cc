@@ -39,8 +39,9 @@ JoinQuery SixTableSkeleton() {
   return q;
 }
 
-// Uniform random row of a table.
-const Row& SampleRow(const TableEntry& entry, Rng* rng) {
+// Uniform random row of a table (materialized: the sampled Values seed
+// predicate constants, which own their strings).
+Row SampleRow(const TableEntry& entry, Rng* rng) {
   return entry.table().Get(rng->NextUint64(entry.table().num_rows()));
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/heap_table.h"
+
 namespace ajr {
 namespace {
 
@@ -71,6 +73,86 @@ TEST_F(EvaluatorTest, InPredicate) {
   EXPECT_TRUE(Eval(In("make", {Value("BMW"), Value("Mazda"), Value("Audi")})));
   EXPECT_FALSE(Eval(In("make", {Value("BMW"), Value("Audi")})));
   EXPECT_FALSE(Eval(In("make", {})));
+}
+
+TEST_F(EvaluatorTest, InPredicateEdgeCases) {
+  // Single-element sets.
+  EXPECT_TRUE(Eval(In("year", {Value(1999)})));
+  EXPECT_FALSE(Eval(In("year", {Value(2000)})));
+  // Duplicate elements are harmless.
+  EXPECT_TRUE(Eval(In("year", {Value(1999), Value(1999), Value(5)})));
+  // Int column with double set elements (and vice versa): numeric IN.
+  EXPECT_TRUE(Eval(In("year", {Value(1999.0), Value(3.5)})));
+  EXPECT_FALSE(Eval(In("year", {Value(1999.5)})));
+  EXPECT_TRUE(Eval(In("price", {Value(12000.5), Value(1.0)})));
+  EXPECT_FALSE(Eval(In("price", {Value(12000)})));
+  // Bool IN.
+  EXPECT_TRUE(Eval(In("sold", {Value(true)})));
+  EXPECT_FALSE(Eval(In("sold", {Value(false)})));
+  EXPECT_TRUE(Eval(In("sold", {Value(false), Value(true)})));
+  // Type mismatches are a bind error, not a silent false.
+  EXPECT_FALSE(BindPredicate(In("make", {Value(1)}), schema_).ok());
+  EXPECT_FALSE(BindPredicate(In("year", {Value("x")}), schema_).ok());
+}
+
+TEST_F(EvaluatorTest, RowViewAndRowEvalAgree) {
+  // The same program must give identical answers on the typed-page view and
+  // the legacy Value row, for every leaf kind.
+  HeapTable t("t", schema_);
+  ASSERT_TRUE(t.Append(row_).ok());
+  RowView view = t.View(0);
+  const std::vector<ExprPtr> exprs = [] {
+    std::vector<ExprPtr> v;
+    v.push_back(ColCmp("make", CompareOp::kEq, Value("Mazda")));
+    v.push_back(ColCmp("make", CompareOp::kEq, Value("BMW")));
+    v.push_back(ColCmp("make", CompareOp::kLt, Value("Nissan")));
+    v.push_back(ColCmp("year", CompareOp::kGt, Value(1998)));
+    v.push_back(ColCmp("year", CompareOp::kLt, Value(1998.5)));
+    v.push_back(ColCmp("price", CompareOp::kGe, Value(12000.5)));
+    v.push_back(ColCmp("sold", CompareOp::kEq, Value(true)));
+    v.push_back(In("make", {Value("BMW"), Value("Mazda")}));
+    v.push_back(In("year", {Value(1999), Value(7)}));
+    v.push_back(Or({ColCmp("make", CompareOp::kEq, Value("BMW")),
+                    Not(ColCmp("year", CompareOp::kLe, Value(1990)))}));
+    return v;
+  }();
+  for (const ExprPtr& e : exprs) {
+    // Bound without a pool and with the table's pool: all four paths agree.
+    auto plain = BindPredicate(e, schema_);
+    auto pooled = BindPredicate(e, schema_, &t.pool());
+    ASSERT_TRUE(plain.ok() && pooled.ok());
+    bool expect = (*plain)->Eval(row_);
+    EXPECT_EQ((*plain)->Eval(view), expect);
+    EXPECT_EQ((*pooled)->Eval(view), expect);
+    EXPECT_EQ((*pooled)->Eval(row_), expect);
+  }
+}
+
+TEST_F(EvaluatorTest, PooledStringConstantFoldsWhenAbsent) {
+  HeapTable t("t", schema_);
+  ASSERT_TRUE(t.Append(row_).ok());
+  // "Yugo" was never interned: equality folds to constant false / not-equal
+  // to constant true, and both still evaluate correctly.
+  auto eq = BindPredicate(ColCmp("make", CompareOp::kEq, Value("Yugo")), schema_,
+                          &t.pool());
+  auto ne = BindPredicate(ColCmp("make", CompareOp::kNe, Value("Yugo")), schema_,
+                          &t.pool());
+  ASSERT_TRUE(eq.ok() && ne.ok());
+  EXPECT_FALSE((*eq)->Eval(t.View(0)));
+  EXPECT_TRUE((*ne)->Eval(t.View(0)));
+}
+
+TEST_F(EvaluatorTest, FlatConjunctionAndPostfixIntrospection) {
+  auto flat = BindPredicate(And({ColCmp("year", CompareOp::kGt, Value(0)),
+                                 ColCmp("price", CompareOp::kLt, Value(1e9))}),
+                            schema_);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_TRUE((*flat)->is_flat_conjunction());
+  auto postfix = BindPredicate(Or({ColCmp("year", CompareOp::kGt, Value(0)),
+                                   ColCmp("price", CompareOp::kLt, Value(1e9))}),
+                               schema_);
+  ASSERT_TRUE(postfix.ok());
+  EXPECT_FALSE((*postfix)->is_flat_conjunction());
 }
 
 TEST_F(EvaluatorTest, BoolLiteralPredicate) {

@@ -130,7 +130,7 @@ TEST(IndexScanCursorTest, PositionAndResumeWithinRange) {
   EXPECT_EQ(rid, 4u);  // key 1, second rid
   ScanPosition pos = c.CurrentPosition();
   EXPECT_EQ(pos.order, ScanOrder::kKeyRidOrder);
-  EXPECT_EQ(pos.key.AsInt64(), 1);
+  EXPECT_EQ(pos.key().AsInt64(), 1);
   EXPECT_EQ(pos.rid, 4u);
 
   IndexScanCursor c2(&tree, {KeyRange::All()});

@@ -63,6 +63,33 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_NE(Value(7).Hash(), Value(8).Hash());
 }
 
+TEST(ValueTest, HashConsistentAcrossNumericTypes) {
+  // Value(2) == Value(2.0), so their hashes must match too — otherwise
+  // hash-based IN sets silently miss cross-type members.
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+  EXPECT_EQ(Value(-17).Hash(), Value(-17.0).Hash());
+  EXPECT_EQ(Value(0).Hash(), Value(0.0).Hash());
+  // 0.0 and -0.0 compare equal, so they must hash equal as well.
+  EXPECT_EQ(Value(0.0), Value(-0.0));
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());
+  EXPECT_EQ(Value(0).Hash(), Value(-0.0).Hash());
+  // Non-integral doubles are not equal to any int64 and need not collide.
+  EXPECT_NE(Value(2), Value(2.5));
+}
+
+TEST(ValueTest, UnorderedSetCollapsesCrossTypeNumerics) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(2));
+  set.insert(Value(2.0));  // equal to the int, must not add a second element
+  set.insert(Value(2.5));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value(2)));
+  EXPECT_TRUE(set.count(Value(2.0)));
+  EXPECT_TRUE(set.count(Value(2.5)));
+  EXPECT_FALSE(set.count(Value(3)));
+}
+
 TEST(ValueTest, UsableInUnorderedSet) {
   std::unordered_set<Value, ValueHash> set;
   set.insert(Value(1));

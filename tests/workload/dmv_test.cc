@@ -138,7 +138,10 @@ TEST_F(DmvTest, AmericanMakesRareInEurope) {
   size_t german_cars = 0, german_chevy = 0, us_cars = 0, us_chevy = 0;
   for (Rid r = 0; r < car.num_rows(); ++r) {
     const Row& row = car.Get(r);
-    const std::string& country = owner.Get(row[1].AsInt64())[3].AsString();
+    // View's string_view points into the owner table's pool (stable); a
+    // reference into Get()'s temporary Row would dangle.
+    std::string_view country =
+        owner.View(static_cast<Rid>(row[1].AsInt64())).GetString(3);
     bool is_chevy = row[2].AsString() == "Chevrolet";
     if (country == "DE") {
       ++german_cars;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records the checked-in benchmark baselines under bench/baselines/ as
+# BENCH_<name>.json: the row-format microbenchmark, the Fig 7 adaptive-vs-
+# static scatter, and the concurrent-runtime throughput harness.
+#
+#   scripts/bench_baseline.sh          # writes bench/baselines/BENCH_*.json
+#
+# Scales are reduced from the paper's defaults so one run finishes in about
+# a minute; the baselines track trends on a comparable machine class (same
+# deterministic work units, wall times vary with hardware), they are not
+# absolute performance claims. Regenerate on the machine class you compare
+# against and commit the diff alongside performance-relevant changes.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${AJR_BUILD_DIR:-${ROOT}/build}"
+OUT="${ROOT}/bench/baselines"
+mkdir -p "${OUT}"
+
+echo "== baseline: row_format =="
+"${BUILD}/bench/row_format" --rows=100000 --iters=5 \
+  --json="${OUT}/BENCH_row_format.json"
+
+echo
+echo "== baseline: fig7_scatter (reduced scale) =="
+"${BUILD}/bench/fig7_scatter" --owners=20000 --per-template=10 --reps=3 \
+  --json="${OUT}/BENCH_fig7_scatter.json"
+
+echo
+echo "== baseline: concurrent_throughput (reduced scale) =="
+"${BUILD}/bench/concurrent_throughput" --owners=20000 --per-template=10 \
+  --workers=4 --json="${OUT}/BENCH_concurrent_throughput.json"
+
+echo
+echo "baselines written to ${OUT}/"

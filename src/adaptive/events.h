@@ -1,0 +1,43 @@
+// AdaptationEvent: one observable join-order change.
+//
+// The executor's reorder decisions (CheckInnerReorder / CheckDrivingSwitch)
+// were previously visible only as aggregate counters and log lines in
+// ExecStats. The differential-fuzzing oracle needs them as structured
+// events — which order changed into which, at which pipeline position,
+// and (for a driving switch) the demoted leg's recorded scan prefix — so
+// the invariant checker can assert the paper's safety properties:
+// reordering happens only at depleted states (Sec 4.1) and a demoted
+// driving leg's positional predicate never regresses behind its last
+// returned row (Sec 4.2).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/scan_position.h"
+
+namespace ajr {
+
+/// One join-order change, reported through ExecObserver::OnAdaptation.
+struct AdaptationEvent {
+  enum class Kind : uint8_t {
+    kInnerReorder,   ///< Sec 4.1: tail reorder at a depleted segment
+    kDrivingSwitch,  ///< Sec 4.2: driving-leg switch between driving rows
+  };
+
+  Kind kind = Kind::kInnerReorder;
+  /// Pipeline position the change applies from (0 for a driving switch).
+  size_t position = 0;
+  std::vector<size_t> order_before;
+  std::vector<size_t> order_after;
+  /// Driving rows produced so far when the change fired.
+  uint64_t driving_rows_produced = 0;
+  /// Driving switches only: the demoted leg and the scan prefix recorded
+  /// for its positional predicate.
+  size_t demoted_table = SIZE_MAX;
+  std::optional<ScanPosition> demoted_prefix;
+};
+
+}  // namespace ajr

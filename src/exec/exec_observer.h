@@ -1,0 +1,62 @@
+// ExecObserver: instrumentation hook points inside PipelineExecutor.
+//
+// An observer sees the executor's row flow and adaptation decisions at the
+// granularity the paper's safety arguments are stated at: driving rows with
+// their scan positions, per-probe match counters, emitted join combinations
+// (as RID tuples), depleted-state transitions, and structured reorder /
+// switch events. The differential-fuzzing oracle's InvariantChecker
+// (src/testing/oracle.h) is the main client; tests and tools may install
+// their own.
+//
+// Cost contract: with no observer installed the executor pays one null
+// check per hook site (all on cold or per-row — never per-cell — paths).
+// Callbacks run synchronously on the executing thread; they must not call
+// back into the executor.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/events.h"
+#include "storage/heap_table.h"
+#include "storage/scan_position.h"
+
+namespace ajr {
+
+/// Receives executor instrumentation callbacks. All methods have empty
+/// default bodies so observers override only what they need.
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+
+  /// A driving row was produced: table `t` yielded `rid`; `pos` is the
+  /// cursor position of that row in the leg's scan order.
+  virtual void OnDrivingRow(size_t t, Rid rid, const ScanPosition& pos) {
+    (void)t, (void)rid, (void)pos;
+  }
+
+  /// Probing inner leg `t` at pipeline position `level` completed for one
+  /// incoming row: `fetched` rows were fetched from storage, `after_edges`
+  /// of them survived all join predicates, `out` also survived local and
+  /// positional predicates (out <= after_edges <= fetched always holds in a
+  /// correct run).
+  virtual void OnProbe(size_t t, size_t level, uint64_t fetched,
+                       uint64_t after_edges, uint64_t out) {
+    (void)t, (void)level, (void)fetched, (void)after_edges, (void)out;
+  }
+
+  /// A full join combination reached the output. `rids` holds the RID of
+  /// every table's current row in query-table order; in a correct run no
+  /// combination is emitted twice, regardless of the switching schedule.
+  virtual void OnEmit(const std::vector<Rid>& rids) { (void)rids; }
+
+  /// Pipeline segment [level..k] reached its depleted state (Sec 4.1) —
+  /// the only states where reordering is legal.
+  virtual void OnDepleted(size_t level) { (void)level; }
+
+  /// A join-order change was applied (see adaptive/events.h).
+  virtual void OnAdaptation(const AdaptationEvent& event) { (void)event; }
+};
+
+}  // namespace ajr

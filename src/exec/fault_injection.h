@@ -1,0 +1,31 @@
+// FaultInjection: deliberate executor bugs for oracle validation.
+//
+// A correctness harness that never fires is indistinguishable from one
+// that works. These switches let tests re-introduce the exact failure
+// modes the adaptive executor's design rules out, so the differential
+// oracle and the invariant checker can prove they would catch a future
+// regression (and the shrinker can be exercised on real failures):
+//
+//   disable_positional_predicates — skips the Sec 4.2 positional predicate
+//     on demoted driving legs, recreating the duplicate-emission bug that
+//     adaptive reordering without duplicate prevention suffers.
+//   double_emit — emits every output row twice: a pure sink-layer bug that
+//     result-multiset comparison must flag even when RID-tuple invariants
+//     are not being tracked.
+//
+// Production runs never install a FaultInjection; the executor pays one
+// null-pointer check at the two affected sites.
+
+#pragma once
+
+namespace ajr {
+
+/// Testing-only executor sabotage. All flags default to off.
+struct FaultInjection {
+  /// Skip positional predicates on demoted driving legs (Sec 4.2 bug).
+  bool disable_positional_predicates = false;
+  /// Emit every output row twice.
+  bool double_emit = false;
+};
+
+}  // namespace ajr

@@ -5,6 +5,8 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "exec/exec_observer.h"
+#include "exec/fault_injection.h"
 #include "storage/key_codec.h"
 
 namespace ajr {
@@ -109,6 +111,7 @@ Status PipelineExecutor::InitLegs() {
   const size_t n = q.tables.size();
   legs_.resize(n);
   current_rows_.assign(n, RowView());
+  current_rids_.assign(n, 0);
   edge_monitors_.assign(q.edges.size(),
                         EdgeMonitor(options_.history_window, options_.averaging));
   for (size_t t = 0; t < n; ++t) {
@@ -242,8 +245,12 @@ bool PipelineExecutor::NextDrivingRow() {
     leg.driving_monitor.RecordScannedEntry(pass);
     if (!pass) continue;
     current_rows_[t] = row;
+    current_rids_[t] = rid;
     ++produced_since_check_;
     ++stats_.driving_rows_produced;
+    if (observer_ != nullptr) {
+      observer_->OnDrivingRow(t, rid, leg.cursor->CurrentPosition());
+    }
     return true;
   }
   return false;
@@ -276,7 +283,8 @@ void PipelineExecutor::ProbeLeg(size_t level) {
     after_edges += 1;
     if (!leg.local_bound->EvalCounted(row, &wc_)) return;
     // Positional predicate of a demoted driving leg (Sec 4.2).
-    if (leg.prefix.has_value()) {
+    if (leg.prefix.has_value() &&
+        !(faults_ != nullptr && faults_->disable_positional_predicates)) {
       ChargeWork(&wc_, WorkCounter::kPredicateEval);
       bool after = leg.prefix_col == SIZE_MAX
                        ? leg.prefix->StrictlyBeforeRid(rid)
@@ -333,6 +341,11 @@ void PipelineExecutor::ProbeLeg(size_t level) {
   }
   leg.inner_monitor.RecordIncomingRow(after_edges, out,
                                       static_cast<double>(wc_.total() - work_before));
+  if (observer_ != nullptr) {
+    observer_->OnProbe(t, level, static_cast<uint64_t>(fetched),
+                       static_cast<uint64_t>(after_edges),
+                       static_cast<uint64_t>(out));
+  }
 }
 
 void PipelineExecutor::DrivingCheck() {
@@ -379,6 +392,7 @@ void PipelineExecutor::DrivingCheck() {
   if (!decision.has_value()) return;
   ++stats_.driving_switches;
   driving_backoff_.OnReorder();
+  std::vector<size_t> order_before = order_;
   {
     std::string msg = StrCat("driving switch after ", stats_.driving_rows_produced,
                              " rows: ", plan_->query.tables[current].alias, " -> ",
@@ -411,6 +425,18 @@ void PipelineExecutor::DrivingCheck() {
   }
   order_ = decision->new_order;
   RefreshPositions(1);
+
+  if (observer_ != nullptr) {
+    AdaptationEvent ev;
+    ev.kind = AdaptationEvent::Kind::kDrivingSwitch;
+    ev.position = 0;
+    ev.order_before = std::move(order_before);
+    ev.order_after = order_;
+    ev.driving_rows_produced = stats_.driving_rows_produced;
+    ev.demoted_table = current;
+    ev.demoted_prefix = old_leg.prefix;
+    observer_->OnAdaptation(ev);
+  }
 }
 
 void PipelineExecutor::InnerCheck(size_t level) {
@@ -423,8 +449,18 @@ void PipelineExecutor::InnerCheck(size_t level) {
   if (!tail.has_value()) return;
   ++stats_.inner_reorders;
   checking_leg.check_backoff.OnReorder();
+  std::vector<size_t> order_before = order_;
   std::copy(tail->begin(), tail->end(), order_.begin() + level);
   RefreshPositions(level);
+  if (observer_ != nullptr) {
+    AdaptationEvent ev;
+    ev.kind = AdaptationEvent::Kind::kInnerReorder;
+    ev.position = level;
+    ev.order_before = std::move(order_before);
+    ev.order_after = order_;
+    ev.driving_rows_produced = stats_.driving_rows_produced;
+    observer_->OnAdaptation(ev);
+  }
   {
     std::string msg =
         StrCat("inner reorder at position ", level, " after ",
@@ -447,8 +483,9 @@ void PipelineExecutor::InnerCheck(size_t level) {
   }
 }
 
-void PipelineExecutor::Emit(const RowSink& sink) {
+void PipelineExecutor::EmitOnce(const RowSink& sink) {
   ++stats_.rows_out;
+  if (observer_ != nullptr) observer_->OnEmit(current_rids_);
   // Null-sink fast path: count-only runs never materialize Values.
   if (!sink) return;
   Row out;
@@ -457,6 +494,11 @@ void PipelineExecutor::Emit(const RowSink& sink) {
     out.push_back(current_rows_[t].GetValue(col));
   }
   sink(out);
+}
+
+void PipelineExecutor::Emit(const RowSink& sink) {
+  EmitOnce(sink);
+  if (faults_ != nullptr && faults_->double_emit) EmitOnce(sink);
 }
 
 StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
@@ -502,6 +544,7 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
     if (leg.match_pos < leg.matches.size()) {
       Rid rid = leg.matches[leg.match_pos++];
       current_rows_[order_[level]] = leg.entry->table().View(rid);
+      current_rids_[order_[level]] = rid;
       if (static_cast<size_t>(level) + 1 == k) {
         Emit(sink);
       } else {
@@ -514,6 +557,9 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
       // and the deadline (a clock read) is consulted every 1024th time so
       // a query stuck under one pathological driving row still times out.
       leg.loaded = false;
+      if (observer_ != nullptr) {
+        observer_->OnDepleted(static_cast<size_t>(level));
+      }
       if (cancel_token_ != nullptr) {
         StopReason stop = (++cancel_polls_ & 1023) == 0 ? cancel_token_->Check()
                                                         : cancel_token_->CheckFlag();

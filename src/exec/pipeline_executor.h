@@ -32,6 +32,9 @@
 
 namespace ajr {
 
+class ExecObserver;
+struct FaultInjection;
+
 /// Counters reported by one execution.
 struct ExecStats {
   uint64_t rows_out = 0;
@@ -79,6 +82,18 @@ class PipelineExecutor {
     cancel_token_ = token;
   }
 
+  /// Installs an instrumentation observer (see exec/exec_observer.h):
+  /// driving rows, probe counters, emitted RID tuples, depleted states, and
+  /// adaptation events. `observer` must outlive Execute(); may be null
+  /// (default). Without an observer each hook site costs one null check.
+  /// Call before Execute().
+  void set_observer(ExecObserver* observer) { observer_ = observer; }
+
+  /// Installs deliberate executor bugs (see exec/fault_injection.h) so the
+  /// fuzzing oracle can prove it catches them. `faults` must outlive
+  /// Execute(); null (default) means no sabotage. Call before Execute().
+  void set_fault_injection(const FaultInjection* faults) { faults_ = faults; }
+
  private:
   struct LegRt;
 
@@ -100,6 +115,7 @@ class PipelineExecutor {
   void DrivingCheck();
   void InnerCheck(size_t level);
   void Emit(const RowSink& sink);
+  void EmitOnce(const RowSink& sink);
 
   const PipelinePlan* plan_;
   AdaptiveOptions options_;
@@ -108,12 +124,17 @@ class PipelineExecutor {
   /// Current row of each table as a zero-copy view into its typed pages;
   /// owned Rows exist only at the Emit projection boundary.
   std::vector<RowView> current_rows_;
+  /// RID of each table's current row (parallel to current_rows_): the
+  /// identity of an emitted join combination for the observer hook.
+  std::vector<Rid> current_rids_;
   std::vector<EdgeMonitor> edge_monitors_;
   std::vector<std::pair<size_t, size_t>> output_cols_;  // (table, column idx)
   WorkCounter wc_;
   uint64_t produced_since_check_ = 0;
   CheckBackoff driving_backoff_;
   const CancellationToken* cancel_token_ = nullptr;
+  ExecObserver* observer_ = nullptr;
+  const FaultInjection* faults_ = nullptr;
   uint64_t cancel_polls_ = 0;
   bool executed_ = false;
   ExecStats stats_;

@@ -1,0 +1,241 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "exec/reference_executor.h"
+#include "optimize/planner.h"
+
+namespace ajr {
+namespace testing {
+
+namespace {
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string RidsKey(const std::vector<Rid>& rids) {
+  std::string key;
+  key.reserve(rids.size() * 6);
+  for (Rid r : rids) {
+    key += std::to_string(r);
+    key += ',';
+  }
+  return key;
+}
+
+// True when `pos` lies strictly after `prev` in their shared scan order.
+bool StrictlyAfter(const ScanPosition& prev, const ScanPosition& pos) {
+  if (prev.order == ScanOrder::kRidOrder) return prev.StrictlyBeforeRid(pos.rid);
+  return prev.StrictlyBefore(pos.key(), pos.rid);
+}
+
+}  // namespace
+
+AdaptiveOptions AggressiveAdaptiveOptions() {
+  AdaptiveOptions aggressive;
+  aggressive.check_frequency = 1;
+  aggressive.switch_benefit_threshold = 1.0;
+  aggressive.inner_benefit_epsilon = 0.0;
+  aggressive.history_window = 4;
+  aggressive.min_edge_pairs = 1;
+  aggressive.min_leg_samples = 1;
+  aggressive.check_backoff = false;
+  return aggressive;
+}
+
+std::vector<DifferentialConfig> DefaultConfigs() {
+  AdaptiveOptions off;
+  off.reorder_inners = false;
+  off.reorder_driving = false;
+  return {
+      {"static", off, StatsTier::kBase},
+      {"paper-default", AdaptiveOptions{}, StatsTier::kMinimal},
+      {"aggressive-minimal", AggressiveAdaptiveOptions(), StatsTier::kMinimal},
+      {"aggressive-base", AggressiveAdaptiveOptions(), StatsTier::kBase},
+  };
+}
+
+std::string FailureReport::ToString() const {
+  return StrCat("[seed ", seed, "] config=", config, " kind=", kind, "\n", detail);
+}
+
+// ---- InvariantChecker ------------------------------------------------------
+
+InvariantChecker::InvariantChecker(std::vector<size_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)),
+      last_driving_pos_(cardinalities_.size()) {}
+
+void InvariantChecker::Violation(std::string message) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+void InvariantChecker::OnDrivingRow(size_t t, Rid rid, const ScanPosition& pos) {
+  last_depleted_level_.reset();
+  ++driving_rows_;
+  std::optional<ScanPosition>& prev = last_driving_pos_[t];
+  if (prev.has_value()) {
+    if (prev->order != pos.order) {
+      Violation(StrCat("I2: table ", t, " changed scan order mid-run"));
+    } else if (!StrictlyAfter(*prev, pos)) {
+      Violation(StrCat("I2: table ", t, " driving scan regressed: row ", rid,
+                       " at ", pos.ToString(), " not after ", prev->ToString()));
+    }
+  }
+  prev = pos;
+}
+
+void InvariantChecker::OnProbe(size_t t, size_t level, uint64_t fetched,
+                               uint64_t after_edges, uint64_t out) {
+  last_depleted_level_.reset();
+  if (out > after_edges || after_edges > fetched) {
+    Violation(StrCat("I3: probe counters inconsistent at table ", t, " level ",
+                     level, ": fetched=", fetched, " after_edges=", after_edges,
+                     " out=", out));
+  }
+  if (t < cardinalities_.size() && fetched > cardinalities_[t]) {
+    Violation(StrCat("I3: probe of table ", t, " fetched ", fetched,
+                     " rows > cardinality ", cardinalities_[t]));
+  }
+}
+
+void InvariantChecker::OnEmit(const std::vector<Rid>& rids) {
+  last_depleted_level_.reset();
+  ++emitted_count_;
+  if (!emitted_.insert(RidsKey(rids)).second) {
+    Violation(StrCat("I1: join combination ", RidsKey(rids),
+                     " emitted twice (duplicate row)"));
+  }
+}
+
+void InvariantChecker::OnDepleted(size_t level) { last_depleted_level_ = level; }
+
+void InvariantChecker::OnAdaptation(const AdaptationEvent& event) {
+  if (event.kind == AdaptationEvent::Kind::kInnerReorder) {
+    if (last_depleted_level_ != event.position) {
+      Violation(StrCat("I4: inner reorder at position ", event.position,
+                       " outside a depleted state"));
+    }
+    return;
+  }
+  // Driving switch: legal only when the whole pipeline is depleted, i.e.
+  // directly after segment [1..k] depleted (single-leg plans never switch).
+  if (last_depleted_level_ != size_t{1}) {
+    Violation("I4: driving switch outside the between-driving-rows state");
+  }
+  if (event.demoted_table < last_driving_pos_.size() &&
+      event.demoted_prefix.has_value()) {
+    const std::optional<ScanPosition>& last = last_driving_pos_[event.demoted_table];
+    if (last.has_value() && StrictlyAfter(*event.demoted_prefix, *last)) {
+      Violation(StrCat("I2: demoted table ", event.demoted_table, " prefix ",
+                       event.demoted_prefix->ToString(),
+                       " does not cover its last driving row at ",
+                       last->ToString()));
+    }
+  }
+}
+
+void InvariantChecker::FinalCheck(const ExecStats& stats) {
+  if (stats.rows_out != emitted_count_) {
+    Violation(StrCat("I5: stats.rows_out=", stats.rows_out, " but observed ",
+                     emitted_count_, " emits"));
+  }
+  if (stats.driving_rows_produced != driving_rows_) {
+    Violation(StrCat("I5: stats.driving_rows_produced=", stats.driving_rows_produced,
+                     " but observed ", driving_rows_, " driving rows"));
+  }
+}
+
+// ---- RunDifferential -------------------------------------------------------
+
+StatusOr<std::optional<FailureReport>> RunDifferential(
+    const WorkloadSpec& spec, const DifferentialOptions& options) {
+  AJR_RETURN_IF_ERROR(spec.query.Validate());
+  AJR_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> catalog, spec.Materialize());
+
+  AJR_ASSIGN_OR_RETURN(std::vector<Row> expected,
+                       ExecuteReference(*catalog, spec.query));
+  SortRows(&expected);
+
+  std::vector<size_t> cardinalities;
+  for (const TableRef& t : spec.query.tables) {
+    AJR_ASSIGN_OR_RETURN(const TableEntry* entry, catalog->GetTable(t.table));
+    cardinalities.push_back(entry->table().num_rows());
+  }
+
+  const std::vector<DifferentialConfig> configs =
+      options.configs.empty() ? DefaultConfigs() : options.configs;
+  for (const DifferentialConfig& config : configs) {
+    FailureReport failure;
+    failure.seed = spec.seed;
+    failure.config = config.name;
+
+    Planner planner(catalog.get(), PlannerOptions{config.stats_tier});
+    auto plan = planner.Plan(spec.query);
+    if (!plan.ok()) {
+      failure.kind = "error";
+      failure.detail = StrCat("planner: ", plan.status().ToString());
+      return std::optional<FailureReport>(std::move(failure));
+    }
+
+    PipelineExecutor exec(plan->get(), config.adaptive);
+    InvariantChecker checker(cardinalities);
+    if (options.check_invariants) exec.set_observer(&checker);
+    if (options.faults != nullptr) exec.set_fault_injection(options.faults);
+
+    std::vector<Row> rows;
+    auto stats = exec.Execute([&rows](const Row& r) { rows.push_back(r); });
+    if (!stats.ok()) {
+      failure.kind = "error";
+      failure.detail = StrCat("executor: ", stats.status().ToString());
+      return std::optional<FailureReport>(std::move(failure));
+    }
+    if (options.check_invariants) {
+      checker.FinalCheck(*stats);
+      if (!checker.ok()) {
+        failure.kind = "invariant";
+        for (const std::string& v : checker.violations()) {
+          failure.detail += v + "\n";
+        }
+        return std::optional<FailureReport>(std::move(failure));
+      }
+    }
+
+    SortRows(&rows);
+    if (rows != expected) {
+      failure.kind = "result-mismatch";
+      failure.detail = StrCat("reference rows=", expected.size(),
+                              " adaptive rows=", rows.size(), "\n");
+      const size_t n = std::min(rows.size(), expected.size());
+      size_t diff = n;
+      for (size_t i = 0; i < n; ++i) {
+        if (!(rows[i] == expected[i])) {
+          diff = i;
+          break;
+        }
+      }
+      if (diff < n) {
+        failure.detail += StrCat("first difference at sorted row ", diff,
+                                 ": reference=", RowToString(expected[diff]),
+                                 " adaptive=", RowToString(rows[diff]), "\n");
+      } else if (rows.size() != expected.size()) {
+        const std::vector<Row>& longer = rows.size() > n ? rows : expected;
+        failure.detail += StrCat(rows.size() > n ? "extra" : "missing",
+                                 " row: ", RowToString(longer[n]), "\n");
+      }
+      return std::optional<FailureReport>(std::move(failure));
+    }
+  }
+  return std::optional<FailureReport>(std::nullopt);
+}
+
+}  // namespace testing
+}  // namespace ajr

@@ -1,0 +1,89 @@
+#include "testing/shrinker.h"
+
+#include <optional>
+#include <utility>
+
+namespace ajr {
+namespace testing {
+
+namespace {
+
+/// Tries one candidate; on success installs it as the current spec.
+/// Returns true when the candidate was accepted.
+bool TryCandidate(std::optional<WorkloadSpec> candidate,
+                  const FailurePredicate& still_fails, ShrinkResult* result,
+                  size_t max_attempts) {
+  if (!candidate.has_value() || result->attempts >= max_attempts) return false;
+  ++result->attempts;
+  if (!still_fails(*candidate)) return false;
+  result->spec = std::move(*candidate);
+  ++result->accepted;
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const WorkloadSpec& failing,
+                    const FailurePredicate& still_fails, size_t max_attempts) {
+  ShrinkResult result;
+  result.spec = failing;
+
+  bool progress = true;
+  while (progress && result.attempts < max_attempts) {
+    progress = false;
+
+    // Tables first: dropping one removes its rows, edges, predicate, and
+    // output columns in a single accepted step. Descending index order so
+    // later candidates stay valid after an acceptance.
+    for (size_t t = result.spec.tables.size(); t-- > 0;) {
+      progress |= TryCandidate(DropTable(result.spec, t), still_fails, &result,
+                               max_attempts);
+    }
+    for (size_t e = result.spec.query.edges.size(); e-- > 0;) {
+      progress |= TryCandidate(DropEdge(result.spec, e), still_fails, &result,
+                               max_attempts);
+    }
+    for (size_t t = result.spec.tables.size(); t-- > 0;) {
+      progress |= TryCandidate(DropPredicate(result.spec, t), still_fails,
+                               &result, max_attempts);
+    }
+    for (size_t t = result.spec.tables.size(); t-- > 0;) {
+      // indexed_columns shrinks as indexes are dropped; re-read per step.
+      for (size_t i = result.spec.tables[t].indexed_columns.size(); i-- > 0;) {
+        progress |= TryCandidate(DropIndex(result.spec, t, i), still_fails,
+                                 &result, max_attempts);
+      }
+    }
+    for (size_t i = result.spec.query.output.size(); i-- > 0;) {
+      progress |= TryCandidate(DropOutputColumn(result.spec, i), still_fails,
+                               &result, max_attempts);
+    }
+    // Row halving last: only worth paying for once the structure is minimal.
+    // Repeat per table until no half reproduces, since each acceptance
+    // opens room for another halving.
+    for (size_t t = 0; t < result.spec.tables.size(); ++t) {
+      bool halved = true;
+      while (halved && result.attempts < max_attempts) {
+        halved = false;
+        for (int half = 0; half < 3 && !halved; ++half) {
+          halved = TryCandidate(HalveRows(result.spec, t, half), still_fails,
+                                &result, max_attempts);
+        }
+        progress |= halved;
+      }
+    }
+  }
+  return result;
+}
+
+FailurePredicate SameKindFailure(DifferentialOptions options, std::string kind) {
+  return [options = std::move(options),
+          kind = std::move(kind)](const WorkloadSpec& candidate) {
+    auto failure = RunDifferential(candidate, options);
+    if (!failure.ok()) return false;  // harness error, not the bug
+    return failure->has_value() && (*failure)->kind == kind;
+  };
+}
+
+}  // namespace testing
+}  // namespace ajr

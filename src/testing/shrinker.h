@@ -1,0 +1,52 @@
+// Greedy test-case shrinker for failing WorkloadSpecs.
+//
+// Given a spec that fails (differential mismatch, invariant violation) and
+// a predicate that re-checks a candidate, Shrink applies the structural
+// transforms from workload_gen.h in decreasing order of payoff — drop a
+// whole table, then an edge, then predicates, indexes, and output columns,
+// then halve row counts — keeping every candidate that still fails, until
+// a full pass makes no progress. The result is the minimal repro printed
+// by WorkloadSpec::ToRepro().
+//
+// Every candidate the shrinker proposes is already Validate()-clean (the
+// transforms guarantee it), so the predicate only has to re-run the
+// oracle. Shrinking is deterministic: transforms are enumerated in a fixed
+// order and the predicate is assumed deterministic for a given spec.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "testing/oracle.h"
+#include "testing/workload_gen.h"
+
+namespace ajr {
+namespace testing {
+
+/// Returns true when a candidate spec still reproduces the failure.
+using FailurePredicate = std::function<bool(const WorkloadSpec&)>;
+
+/// Outcome of one shrink run.
+struct ShrinkResult {
+  WorkloadSpec spec;    ///< smallest failing spec found
+  size_t accepted = 0;  ///< transforms that kept the failure
+  size_t attempts = 0;  ///< candidates evaluated
+};
+
+/// Greedily minimizes `failing` under `still_fails`. `failing` itself must
+/// satisfy the predicate (callers check before shrinking). `max_attempts`
+/// bounds total predicate evaluations.
+ShrinkResult Shrink(const WorkloadSpec& failing,
+                    const FailurePredicate& still_fails,
+                    size_t max_attempts = 3000);
+
+/// Predicate for the common case: the candidate fails RunDifferential with
+/// the same failure kind ("result-mismatch" / "invariant" / "error"). The
+/// options (config spread, fault injection) are captured by value; pass the
+/// exact options that produced the original failure.
+FailurePredicate SameKindFailure(DifferentialOptions options, std::string kind);
+
+}  // namespace testing
+}  // namespace ajr

@@ -30,7 +30,16 @@ namespace ajr {
 // --- Raw cell codec -------------------------------------------------------
 
 inline uint64_t CellFromInt64(int64_t v) { return static_cast<uint64_t>(v); }
-inline uint64_t CellFromDouble(double v) { return std::bit_cast<uint64_t>(v); }
+// -0.0 is canonicalized to +0.0: the engine compares stored double cells
+// and index keys by their bits (CellEquals, B+-tree probes), while
+// predicate evaluation compares numerically — distinct bit patterns for
+// the two zeros would make `x = 0.0` pass the evaluator yet miss on an
+// index probe. Every finite double other than the zeros has unique bits,
+// and NaNs never enter cells, so canonicalizing the one aliased value
+// makes bit equality coincide with numeric equality.
+inline uint64_t CellFromDouble(double v) {
+  return std::bit_cast<uint64_t>(v == 0.0 ? 0.0 : v);
+}
 inline uint64_t CellFromBool(bool v) { return v ? 1u : 0u; }
 inline uint64_t CellFromStringId(uint32_t id) { return id; }
 
@@ -60,8 +69,11 @@ inline int64_t OrderDecodeInt64(uint64_t e) {
 
 // Flip all bits of negatives, just the sign bit of non-negatives: total
 // order over all finite doubles (and infinities; NaNs never enter keys).
+// -0.0 encodes as +0.0 (see CellFromDouble) so a probe key built from a
+// literal -0.0 finds stored zeros; consequently a == b <=> enc(a) == enc(b)
+// in addition to a < b <=> enc(a) < enc(b).
 inline uint64_t OrderEncodeDouble(double v) {
-  uint64_t b = std::bit_cast<uint64_t>(v);
+  uint64_t b = std::bit_cast<uint64_t>(v == 0.0 ? 0.0 : v);
   return (b & kSignBit) ? ~b : (b | kSignBit);
 }
 inline double OrderDecodeDouble(uint64_t e) {

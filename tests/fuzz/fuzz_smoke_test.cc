@@ -1,0 +1,131 @@
+// Fixed-seed smoke coverage for the fuzzing subsystem (ctest label: fuzz).
+//
+// Three properties, all deterministic and fast enough for every CI run:
+//   1. a band of fixed seeds runs differentially clean (no mismatches, no
+//      invariant violations) under the full configuration spread;
+//   2. the oracle catches deliberately injected executor bugs — double
+//      emission and disabled positional predicates — and the shrinker
+//      reduces the double-emission repro to <= 3 tables;
+//   3. generation and shrinking are deterministic and validity-preserving.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "testing/oracle.h"
+#include "testing/shrinker.h"
+#include "testing/workload_gen.h"
+
+namespace ajr {
+namespace testing {
+namespace {
+
+constexpr uint64_t kCleanSeeds = 40;
+
+TEST(FuzzSmoke, FixedSeedBandIsClean) {
+  for (uint64_t seed = 1; seed <= kCleanSeeds; ++seed) {
+    WorkloadSpec spec = GenerateWorkload(seed);
+    auto failure = RunDifferential(spec);
+    ASSERT_TRUE(failure.ok()) << failure.status().ToString();
+    if (failure->has_value()) {
+      FAIL() << (*failure)->ToString() << "\n" << spec.ToRepro();
+    }
+  }
+}
+
+TEST(FuzzSmoke, GenerationIsDeterministic) {
+  for (uint64_t seed : {3ull, 17ull, 123456789ull}) {
+    WorkloadSpec a = GenerateWorkload(seed);
+    WorkloadSpec b = GenerateWorkload(seed);
+    EXPECT_EQ(a.ToRepro(), b.ToRepro()) << "seed " << seed;
+    EXPECT_EQ(a.seed, seed);
+    EXPECT_TRUE(a.query.Validate().ok());
+  }
+}
+
+TEST(FuzzSmoke, TransformsPreserveValidity) {
+  WorkloadSpec spec = GenerateWorkload(7);
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    if (auto s = DropTable(spec, t)) {
+      EXPECT_TRUE(s->query.Validate().ok());
+    }
+    if (auto s = DropPredicate(spec, t)) {
+      EXPECT_TRUE(s->query.Validate().ok());
+    }
+    if (auto s = HalveRows(spec, t, 0)) {
+      EXPECT_TRUE(s->query.Validate().ok());
+    }
+  }
+  for (size_t e = 0; e < spec.query.edges.size(); ++e) {
+    if (auto s = DropEdge(spec, e)) {
+      EXPECT_TRUE(s->query.Validate().ok());
+    }
+  }
+  for (size_t i = 0; i < spec.query.output.size(); ++i) {
+    if (auto s = DropOutputColumn(spec, i)) {
+      EXPECT_TRUE(s->query.Validate().ok());
+    }
+  }
+}
+
+/// Finds the first seed in [1, limit] whose workload fails under `options`.
+std::optional<std::pair<WorkloadSpec, FailureReport>> FirstFailure(
+    const DifferentialOptions& options, uint64_t limit) {
+  for (uint64_t seed = 1; seed <= limit; ++seed) {
+    WorkloadSpec spec = GenerateWorkload(seed);
+    auto failure = RunDifferential(spec, options);
+    if (!failure.ok()) ADD_FAILURE() << failure.status().ToString();
+    if (failure.ok() && failure->has_value()) return {{spec, **failure}};
+  }
+  return std::nullopt;
+}
+
+TEST(FuzzSmoke, InjectedDoubleEmitIsCaughtAndShrunk) {
+  FaultInjection faults;
+  faults.double_emit = true;
+  DifferentialOptions options;
+  options.faults = &faults;
+
+  auto found = FirstFailure(options, 20);
+  ASSERT_TRUE(found.has_value())
+      << "double-emission bug survived 20 seeds undetected";
+  // The duplicate must be visible to the invariant layer (I1), not just the
+  // result diff: every emitted RID tuple appears twice.
+  EXPECT_EQ(found->second.kind, "invariant") << found->second.ToString();
+  EXPECT_NE(found->second.detail.find("I1"), std::string::npos)
+      << found->second.detail;
+
+  ShrinkResult shrunk =
+      Shrink(found->first, SameKindFailure(options, found->second.kind));
+  EXPECT_LE(shrunk.spec.tables.size(), 3u) << shrunk.spec.ToRepro();
+  EXPECT_LT(shrunk.spec.TotalRows(), found->first.TotalRows());
+  // The minimum must still reproduce (Shrink only keeps failing candidates,
+  // but re-check end to end through the public API).
+  auto replay = RunDifferential(shrunk.spec, options);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_TRUE(replay->has_value());
+  EXPECT_EQ((*replay)->kind, "invariant");
+}
+
+TEST(FuzzSmoke, InjectedPositionalPredicateBugIsCaught) {
+  FaultInjection faults;
+  faults.disable_positional_predicates = true;
+  DifferentialOptions options;
+  options.faults = &faults;
+
+  // Without positional predicates a demoted driving leg re-emits its
+  // already-processed prefix (the Sec 4.2 duplicate bug). It only fires on
+  // seeds whose run actually switches the driving table, so scan a wider
+  // band than for double_emit.
+  auto found = FirstFailure(options, 60);
+  ASSERT_TRUE(found.has_value())
+      << "positional-predicate bug survived 60 seeds undetected";
+  EXPECT_TRUE(found->second.kind == "invariant" ||
+              found->second.kind == "result-mismatch")
+      << found->second.ToString();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ajr

@@ -80,6 +80,23 @@ Status Run() {
 
   engine.Shutdown();
   std::printf("\nmetrics snapshot:\n%s", metrics.Snapshot().c_str());
+
+  // 6. Probe-path effectiveness: the exec.probe_* counters the executors
+  //    flushed above, folded into the two numbers an operator would watch —
+  //    memoization hit rate and root-to-leaf descents avoided per batch key.
+  auto counter = [&metrics](const char* name) -> uint64_t {
+    const Counter* c = metrics.FindCounter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+  uint64_t hits = counter("exec.probe_cache_hits");
+  uint64_t misses = counter("exec.probe_cache_misses");
+  uint64_t keys = counter("exec.probe_batch_keys");
+  uint64_t saved = counter("exec.probe_descents_saved");
+  std::printf("\nprobe path: %llu batch keys, cache hit rate %.1f%%, "
+              "%.1f%% of descents avoided\n",
+              (unsigned long long)keys,
+              hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0,
+              keys > 0 ? 100.0 * saved / keys : 0.0);
   return Status::OK();
 }
 

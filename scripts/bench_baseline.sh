@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Records the checked-in benchmark baselines under bench/baselines/ as
-# BENCH_<name>.json: the row-format microbenchmark, the Fig 7 adaptive-vs-
-# static scatter, and the concurrent-runtime throughput harness.
+# Records the benchmark baselines as BENCH_<name>.json: the row-format
+# microbenchmark, the Fig 7 adaptive-vs-static scatter, the concurrent-
+# runtime throughput harness, and the index-probe (batched descent /
+# memoization) microbenchmark.
 #
-#   scripts/bench_baseline.sh          # writes bench/baselines/BENCH_*.json
+#   scripts/bench_baseline.sh            # writes bench/baselines/BENCH_*.json
+#   scripts/bench_baseline.sh /tmp/perf  # writes elsewhere (e.g. for a CI
+#                                        # run compared against the checked-in
+#                                        # baselines via scripts/bench_delta.py)
 #
 # Scales are reduced from the paper's defaults so one run finishes in about
 # a minute; the baselines track trends on a comparable machine class (same
@@ -15,12 +19,16 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${AJR_BUILD_DIR:-${ROOT}/build}"
-OUT="${ROOT}/bench/baselines"
+OUT="${1:-${ROOT}/bench/baselines}"
 mkdir -p "${OUT}"
 
 echo "== baseline: row_format =="
 "${BUILD}/bench/row_format" --rows=100000 --iters=5 \
   --json="${OUT}/BENCH_row_format.json"
+
+echo
+echo "== baseline: index_probe =="
+"${BUILD}/bench/index_probe" --json="${OUT}/BENCH_index_probe.json"
 
 echo
 echo "== baseline: fig7_scatter (reduced scale) =="

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare freshly generated BENCH_*.json files against committed baselines.
+
+    scripts/bench_delta.py <fresh_dir> [<baseline_dir>]
+
+Prints one line per metric with the relative delta, flagging moves beyond
++/-10%. Exit code is always 0: wall-clock metrics on shared CI runners are
+too noisy to gate on — the deltas are for humans (and for the uploaded
+artifact trail), not for blocking merges. Only Python stdlib is used.
+"""
+
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {m["name"]: m["value"] for m in doc.get("metrics", [])}
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        return 0
+    fresh_dir = sys.argv[1]
+    base_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "bench", "baselines")
+
+    names = sorted(n for n in os.listdir(fresh_dir)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        print(f"no BENCH_*.json files in {fresh_dir}")
+        return 0
+
+    for name in names:
+        base_path = os.path.join(base_dir, name)
+        print(f"== {name} ==")
+        if not os.path.exists(base_path):
+            print("  (no committed baseline; skipping)")
+            continue
+        fresh = load_metrics(os.path.join(fresh_dir, name))
+        base = load_metrics(base_path)
+        for metric in sorted(set(fresh) | set(base)):
+            if metric not in fresh or metric not in base:
+                side = "baseline" if metric not in fresh else "fresh run"
+                print(f"  {metric:40s} only in {side}")
+                continue
+            b, f = base[metric], fresh[metric]
+            if b == 0:
+                delta = "  (baseline 0)"
+            else:
+                rel = (f - b) / b * 100.0
+                flag = "  <-- >10% move" if abs(rel) > 10.0 else ""
+                delta = f"{rel:+7.1f}%{flag}"
+            print(f"  {metric:40s} {b:12.4f} -> {f:12.4f}  {delta}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

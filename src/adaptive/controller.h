@@ -57,6 +57,18 @@ struct AdaptiveOptions {
   /// costs far more (relatively) than on the paper's I/O-bound system, and
   /// back-off restores the paper's sub-1% overhead regime (Sec 5.4).
   bool check_backoff = true;
+  /// Max probe keys gathered per inner leg before descending the index
+  /// (sorted, hint-resumed descent amortizes root-to-leaf walks). Batches
+  /// never span driving rows and are discarded at every reorder, so
+  /// depleted-state semantics are untouched; work-unit accounting is
+  /// replayed per logical probe and stays bit-identical to per-row
+  /// execution. 1 disables batching.
+  size_t probe_batch_size = 64;
+  /// Capacity of the per-leg probe-memoization LRU (hot join keys replay
+  /// their matched-RID list and exact work units instead of re-descending).
+  /// Bypassed while a leg's positional predicate is active. 0 disables the
+  /// cache.
+  size_t probe_cache_entries = 128;
   static constexpr uint64_t kMaxBackoff = 16;
 };
 

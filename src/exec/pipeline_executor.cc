@@ -4,12 +4,25 @@
 #include <cassert>
 #include <chrono>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "exec/exec_observer.h"
 #include "exec/fault_injection.h"
+#include "exec/probe_cache.h"
 #include "storage/key_codec.h"
 
 namespace ajr {
+
+/// One prefilled probe: the key to look up, the RID of the row the key was
+/// read from (drain-time sanity check), and — once resolved — the probe's
+/// replayable outcome (see ProbeLegBatched).
+struct PipelineExecutor::BatchedProbe {
+  IndexKey key;  ///< string bytes borrow the source table's pool (stable)
+  Rid key_src_rid = 0;
+  std::vector<Rid> matches;
+  uint64_t fetched = 0;
+  uint64_t work_units = 0;
+};
 
 /// Per-leg runtime state.
 struct PipelineExecutor::LegRt {
@@ -53,6 +66,27 @@ struct PipelineExecutor::LegRt {
   uint64_t incoming_since_check = 0;
   /// Inner-check interval schedule (grows under back-off).
   CheckBackoff check_backoff;
+
+  // Batched-probe state (single-edge indexed legs only; see ProbeLegBatched).
+  /// Prefilled probes for this leg's upcoming incoming rows; discarded at
+  /// every reorder touching this position, so a batch never outlives the
+  /// pipeline shape it was built for. Only [0, batch_len) is live —
+  /// entries beyond keep their buffers for reuse, so steady-state refills
+  /// allocate nothing.
+  std::vector<BatchedProbe> batch;
+  size_t batch_len = 0;
+  size_t batch_pos = 0;
+  /// Scratch for the fill-time key sort (reused across fills).
+  std::vector<uint32_t> batch_by_key;
+  /// Hint-carrying probe over the current probe index (rebuilt on change).
+  std::optional<HintedIndexProbe> hinted;
+  /// Memoized probe results for hot keys; lazily built, epoch-tagged so a
+  /// demotion's positional predicate retires every earlier entry.
+  std::unique_ptr<ProbeCache> cache;
+  uint32_t cache_epoch = 0;
+  /// Edge the cache's entries were probed through (SIZE_MAX = none yet);
+  /// a different edge means a different index, so the cache is cleared.
+  size_t cache_edge = SIZE_MAX;
 };
 
 namespace {
@@ -60,6 +94,16 @@ namespace {
 // Sample floor for monitored selectivities in inner-reorder decisions (see
 // BuildRuntimeCostInputs doc comment).
 constexpr uint64_t kInnerMinSamples = 2;
+
+// Three-way compare of two probe keys of one index's key type, in index
+// order (numeric order-encodings compare as integers, strings as bytes).
+int CompareKeys(const IndexKey& a, const IndexKey& b) {
+  if (a.type != DataType::kString) {
+    return a.enc < b.enc ? -1 : (a.enc > b.enc ? 1 : 0);
+  }
+  int c = a.str.compare(b.str);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
 
 // Entries of `tree` within `range`.
 size_t CountRange(const BPlusTree& tree, const KeyRange& range) {
@@ -177,6 +221,10 @@ void PipelineExecutor::RefreshPositions(size_t from) {
     leg.loaded = false;
     leg.matches.clear();
     leg.match_pos = 0;
+    // Any reorder at or above this position invalidates read-ahead: the
+    // prefilled keys were gathered for the old pipeline shape.
+    leg.batch_len = 0;
+    leg.batch_pos = 0;
     leg.applicable_edges.clear();
     for (const auto& e : plan_->query.edges) {
       if (e.Touches(t) && (mask & (uint64_t{1} << e.Other(t))) != 0) {
@@ -263,6 +311,22 @@ void PipelineExecutor::ProbeLeg(size_t level) {
   leg.match_pos = 0;
   leg.loaded = true;
   ++leg.incoming_since_check;
+  const IndexInfo* probe_index =
+      leg.probe_edge == SIZE_MAX ? nullptr
+                                 : plan_->access[t].probe_index_by_edge[leg.probe_edge];
+  // Batched fast path: only for indexed legs whose sole applicable edge is
+  // the probe edge. There the per-row path's residual-edge loop is empty
+  // (the probe edge is known to match), so a probe's entire outcome —
+  // matches, fetched count, work units — is a pure function of the probe
+  // key and can be resolved ahead of time and replayed. Multi-edge,
+  // unindexed, and cartesian legs keep the per-row path below.
+  if (probe_index != nullptr &&
+      (options_.probe_batch_size > 1 || options_.probe_cache_entries > 0) &&
+      leg.applicable_edges.size() == 1 &&
+      leg.applicable_edges[0] == leg.probe_edge) {
+    ProbeLegBatched(level, probe_index);
+    return;
+  }
   const uint64_t work_before = wc_.total();
   const JoinQuery& q = plan_->query;
   const double table_card = static_cast<double>(leg.entry->table().num_rows());
@@ -295,9 +359,6 @@ void PipelineExecutor::ProbeLeg(size_t level) {
     leg.matches.push_back(rid);
   };
 
-  const IndexInfo* probe_index =
-      leg.probe_edge == SIZE_MAX ? nullptr
-                                 : plan_->access[t].probe_index_by_edge[leg.probe_edge];
   if (probe_index != nullptr) {
     const JoinEdge& edge = q.edges[leg.probe_edge];
     size_t other = edge.Other(t);
@@ -345,6 +406,148 @@ void PipelineExecutor::ProbeLeg(size_t level) {
     observer_->OnProbe(t, level, static_cast<uint64_t>(fetched),
                        static_cast<uint64_t>(after_edges),
                        static_cast<uint64_t>(out));
+  }
+}
+
+void PipelineExecutor::ProbeLegBatched(size_t level, const IndexInfo* probe_index) {
+  size_t t = order_[level];
+  LegRt& leg = legs_[t];
+  const JoinEdge& edge = plan_->query.edges[leg.probe_edge];
+  const size_t other = edge.Other(t);
+  if (leg.batch_pos >= leg.batch_len) FillProbeBatch(level, probe_index, other);
+  BatchedProbe& bp = leg.batch[leg.batch_pos++];
+  // Batches are discarded at every reorder and never span driving rows, so
+  // the prefilled key must have been read from the row that is current at
+  // this table now — anything else is an executor bug, not a soft miss.
+  AJR_CHECK(bp.key_src_rid == current_rids_[other]);
+
+  // Replay the probe's accounting exactly as the per-row path would charge
+  // it at this moment. With a single applicable edge the per-row path's
+  // after-edges count equals its fetched count, and no residual edge
+  // monitor is touched, so the monitors, the observer, and the work total
+  // below reproduce it bit for bit — the adaptive controller and the
+  // differential oracle cannot tell the paths apart.
+  wc_.Add(bp.work_units);
+  const double fetched = static_cast<double>(bp.fetched);
+  const double out = static_cast<double>(bp.matches.size());
+  edge_monitors_[leg.probe_edge].Record(
+      static_cast<double>(leg.entry->table().num_rows()), fetched);
+  leg.inner_monitor.RecordIncomingRow(fetched, out,
+                                      static_cast<double>(bp.work_units));
+  if (observer_ != nullptr) {
+    observer_->OnProbe(t, level, bp.fetched, bp.fetched,
+                       static_cast<uint64_t>(bp.matches.size()));
+  }
+  // Swap, not move: the batch entry inherits the cleared match buffer and
+  // keeps its capacity for the next fill.
+  leg.matches.swap(bp.matches);
+}
+
+void PipelineExecutor::FillProbeBatch(size_t level, const IndexInfo* probe_index,
+                                      size_t other) {
+  size_t t = order_[level];
+  LegRt& leg = legs_[t];
+  leg.batch_len = 0;
+  leg.batch_pos = 0;
+  const size_t other_col = legs_[other].edge_col[leg.probe_edge];
+  const size_t cap = std::max<size_t>(1, options_.probe_batch_size);
+  auto add_key = [&leg](IndexKey key, Rid src_rid) {
+    if (leg.batch_len == leg.batch.size()) leg.batch.emplace_back();
+    BatchedProbe& bp = leg.batch[leg.batch_len++];
+    bp.key = key;
+    bp.key_src_rid = src_rid;
+    bp.matches.clear();
+    bp.fetched = 0;
+    bp.work_units = 0;
+  };
+
+  // Key 0 is the incoming row being probed right now. Further keys come
+  // from the parent leg's still-pending matches: those are exactly the
+  // rows this leg will be probed with next, unless a reorder discards the
+  // batch first. The driving leg (a level-1 probe's parent) has no match
+  // buffer to read ahead from, and a key source above the parent keeps the
+  // key constant for the parent's whole segment, so both cases get a batch
+  // of one (memoization still applies).
+  add_key(EncodeKeyFromCell(current_rows_[other], other_col), current_rids_[other]);
+  if (level >= 2 && other == order_[level - 1]) {
+    const LegRt& parent = legs_[other];
+    for (size_t i = parent.match_pos;
+         i < parent.matches.size() && leg.batch_len < cap; ++i) {
+      Rid prid = parent.matches[i];
+      // View, not Fetch: the executor's own advance views match rows
+      // without charging, so reading ahead must not charge either.
+      RowView row = parent.entry->table().View(prid);
+      add_key(EncodeKeyFromCell(row, other_col), prid);
+    }
+  }
+  stats_.probe_batches += 1;
+  stats_.probe_batch_keys += leg.batch_len;
+
+  // (Re)target the per-leg probe machinery at the current probe index.
+  const BPlusTree* tree = probe_index->tree.get();
+  if (!leg.hinted.has_value() || leg.hinted->tree() != tree) leg.hinted.emplace(tree);
+  const bool cache_on = options_.probe_cache_entries > 0;
+  if (cache_on && leg.cache == nullptr) {
+    leg.cache = std::make_unique<ProbeCache>(options_.probe_cache_entries);
+  }
+  if (cache_on && leg.cache_edge != leg.probe_edge) {
+    leg.cache->Clear();
+    leg.cache_edge = leg.probe_edge;
+  }
+  // Bypass (neither read nor write) while the positional predicate is
+  // live: its filter depends on the demotion point, not just the key.
+  const bool cache_usable = cache_on && !leg.prefix.has_value();
+
+  // Resolve in ascending key order so the hinted descent resumes from the
+  // previous leaf instead of re-walking from the root. Accounting is
+  // replayed in logical order at drain time, and each probe's work goes to
+  // its own local counter here, so the physical order is invisible to
+  // monitors, stats, and the oracle.
+  leg.batch_by_key.resize(leg.batch_len);
+  for (uint32_t i = 0; i < leg.batch_len; ++i) leg.batch_by_key[i] = i;
+  std::stable_sort(leg.batch_by_key.begin(), leg.batch_by_key.end(),
+                   [&leg](uint32_t a, uint32_t b) {
+                     return CompareKeys(leg.batch[a].key, leg.batch[b].key) < 0;
+                   });
+
+  for (uint32_t i : leg.batch_by_key) {
+    BatchedProbe& bp = leg.batch[i];
+    if (cache_usable) {
+      const ProbeCache::Result* hit = leg.cache->Lookup(bp.key, leg.cache_epoch);
+      if (hit != nullptr) {
+        bp.matches = hit->matches;
+        bp.fetched = hit->fetched;
+        bp.work_units = hit->work_units;
+        stats_.probe_cache_hits += 1;
+        stats_.probe_descents_saved += 1;
+        continue;
+      }
+      stats_.probe_cache_misses += 1;
+    }
+    WorkCounter lwc;
+    if (leg.hinted->Seek(bp.key, &lwc)) stats_.probe_descents_saved += 1;
+    Rid rid;
+    while (leg.hinted->Next(&lwc, &rid)) {
+      RowView row = leg.entry->table().Fetch(rid, &lwc);
+      bp.fetched += 1;
+      // The sole applicable edge is the probe edge (known to match), so
+      // the per-row path's residual-edge loop is empty here.
+      if (!leg.local_bound->EvalCounted(row, &lwc)) continue;
+      if (leg.prefix.has_value() &&
+          !(faults_ != nullptr && faults_->disable_positional_predicates)) {
+        ChargeWork(&lwc, WorkCounter::kPredicateEval);
+        bool after = leg.prefix_col == SIZE_MAX
+                         ? leg.prefix->StrictlyBeforeRid(rid)
+                         : leg.prefix->StrictlyBefore(row, leg.prefix_col, rid);
+        if (!after) continue;
+      }
+      bp.matches.push_back(rid);
+    }
+    bp.work_units = lwc.total();
+    if (cache_usable) {
+      leg.cache->Insert(bp.key, leg.cache_epoch, bp.matches, bp.fetched,
+                        bp.work_units);
+    }
   }
 }
 
@@ -414,6 +617,11 @@ void PipelineExecutor::DrivingCheck() {
       old_leg.total_raw_entries > 0
           ? std::min(1.0, old_leg.cached_remaining_entries / old_leg.total_raw_entries)
           : 1.0;
+  // The fresh positional predicate changes this leg's probe results from
+  // now on: move to a new cache epoch so no earlier memoized entry can be
+  // replayed (the executor also bypasses the cache while a prefix is live —
+  // the epoch makes staleness impossible rather than merely avoided).
+  ++old_leg.cache_epoch;
 
   // Promote the new driving leg; a previously demoted leg resumes its
   // original cursor (which already sits past its prefix).
@@ -576,6 +784,13 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
   stats_.work_units = wc_.total();
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("exec.probe_cache_hits")->Add(stats_.probe_cache_hits);
+    metrics_->GetCounter("exec.probe_cache_misses")->Add(stats_.probe_cache_misses);
+    metrics_->GetCounter("exec.probe_batches")->Add(stats_.probe_batches);
+    metrics_->GetCounter("exec.probe_batch_keys")->Add(stats_.probe_batch_keys);
+    metrics_->GetCounter("exec.probe_descents_saved")->Add(stats_.probe_descents_saved);
+  }
   return stats_;
 }
 

@@ -24,6 +24,7 @@
 #include "adaptive/controller.h"
 #include "adaptive/monitor.h"
 #include "common/cancellation.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/work_counter.h"
 #include "expr/evaluator.h"
@@ -44,6 +45,15 @@ struct ExecStats {
   uint64_t inner_reorders = 0;
   uint64_t driving_checks = 0;
   uint64_t driving_switches = 0;
+  /// Batched-probe observability (never feeds adaptation decisions):
+  /// memoization hits/misses, batches filled, keys gathered into batches,
+  /// and physical root-to-leaf descents avoided (hint resumes + cache
+  /// hits). All zero when batching and memoization are disabled.
+  uint64_t probe_cache_hits = 0;
+  uint64_t probe_cache_misses = 0;
+  uint64_t probe_batches = 0;
+  uint64_t probe_batch_keys = 0;
+  uint64_t probe_descents_saved = 0;
   /// Total join-order changes (inner reorders + driving switches) — the
   /// quantity Fig 10 plots against the history window size.
   uint64_t order_switches() const { return inner_reorders + driving_switches; }
@@ -94,8 +104,16 @@ class PipelineExecutor {
   /// Execute(); null (default) means no sabotage. Call before Execute().
   void set_fault_injection(const FaultInjection* faults) { faults_ = faults; }
 
+  /// Installs an engine-wide metrics registry: at the end of Execute() the
+  /// run's probe-batch/cache counters are added to the `exec.probe_*`
+  /// counters (one Add per counter per query — nothing on the probe hot
+  /// path). `metrics` must outlive Execute(); may be null (default). Call
+  /// before Execute().
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct LegRt;
+  struct BatchedProbe;
 
   Status InitLegs();
   Status CreateDrivingCursor(size_t t);
@@ -112,6 +130,13 @@ class PipelineExecutor {
   double RemainingEntries(size_t t) const;
   bool NextDrivingRow();
   void ProbeLeg(size_t level);
+  /// Batched fast path of ProbeLeg for single-edge indexed legs: drains one
+  /// prefilled BatchedProbe, replaying its exact per-row accounting.
+  void ProbeLegBatched(size_t level, const IndexInfo* probe_index);
+  /// Gathers up to probe_batch_size pending probe keys for the leg at
+  /// `level` and resolves them physically (cache, then sorted hinted
+  /// descent), charging work to per-probe local counters for later replay.
+  void FillProbeBatch(size_t level, const IndexInfo* probe_index, size_t other);
   void DrivingCheck();
   void InnerCheck(size_t level);
   void Emit(const RowSink& sink);
@@ -135,6 +160,7 @@ class PipelineExecutor {
   const CancellationToken* cancel_token_ = nullptr;
   ExecObserver* observer_ = nullptr;
   const FaultInjection* faults_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   uint64_t cancel_polls_ = 0;
   bool executed_ = false;
   ExecStats stats_;

@@ -1,0 +1,178 @@
+#include "exec/probe_cache.h"
+
+#include <functional>
+#include <string_view>
+
+namespace ajr {
+
+namespace {
+
+/// Power of two >= 2 * capacity, so the open-addressed index stays at or
+/// below 50% load and linear probe chains stay short.
+size_t IndexSizeFor(size_t capacity) {
+  size_t n = 2;
+  while (n < capacity * 2) n <<= 1;
+  return n;
+}
+
+/// splitmix64 finalizer: full-avalanche mix for numeric key encodings.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ProbeCache::ProbeCache(size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) return;
+  slots_.resize(capacity_);
+  index_.assign(IndexSizeFor(capacity_), kNil);
+  mask_ = index_.size() - 1;
+}
+
+uint64_t ProbeCache::HashKey(const IndexKey& key, uint32_t epoch) {
+  uint64_t h = key.type == DataType::kString
+                   ? std::hash<std::string_view>()(key.str)
+                   : Mix64(key.enc);
+  return Mix64(h ^ epoch);
+}
+
+bool ProbeCache::SlotMatches(const Slot& s, uint64_t hash, const IndexKey& key,
+                             uint32_t epoch) const {
+  if (s.hash != hash || s.epoch != epoch) return false;
+  if (key.type == DataType::kString) return s.is_string && s.str == key.str;
+  return !s.is_string && s.enc == key.enc;
+}
+
+void ProbeCache::Unlink(uint32_t s) {
+  Slot& slot = slots_[s];
+  if (slot.lru_prev != kNil) {
+    slots_[slot.lru_prev].lru_next = slot.lru_next;
+  } else {
+    lru_head_ = slot.lru_next;
+  }
+  if (slot.lru_next != kNil) {
+    slots_[slot.lru_next].lru_prev = slot.lru_prev;
+  } else {
+    lru_tail_ = slot.lru_prev;
+  }
+  slot.lru_prev = slot.lru_next = kNil;
+}
+
+void ProbeCache::PushFront(uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.lru_prev = kNil;
+  slot.lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = s;
+  lru_head_ = s;
+  if (lru_tail_ == kNil) lru_tail_ = s;
+}
+
+void ProbeCache::EraseIndexAt(size_t pos) {
+  size_t hole = pos;
+  size_t j = pos;
+  while (true) {
+    j = (j + 1) & mask_;
+    uint32_t s = index_[j];
+    if (s == kNil) break;
+    size_t home = slots_[s].hash & mask_;
+    // The entry at j may fill the hole iff the hole lies on the probe path
+    // from its home slot to j.
+    if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+      index_[hole] = s;
+      hole = j;
+    }
+  }
+  index_[hole] = kNil;
+}
+
+const ProbeCache::Result* ProbeCache::Lookup(const IndexKey& key, uint32_t epoch) {
+  if (capacity_ == 0) return nullptr;
+  const uint64_t h = HashKey(key, epoch);
+  size_t pos = h & mask_;
+  while (index_[pos] != kNil) {
+    uint32_t s = index_[pos];
+    if (SlotMatches(slots_[s], h, key, epoch)) {
+      if (lru_head_ != s) {
+        Unlink(s);
+        PushFront(s);
+      }
+      return &slots_[s].result;
+    }
+    pos = (pos + 1) & mask_;
+  }
+  return nullptr;
+}
+
+void ProbeCache::Insert(const IndexKey& key, uint32_t epoch,
+                        const std::vector<Rid>& matches, uint64_t fetched,
+                        uint64_t work_units) {
+  if (capacity_ == 0) return;
+  if (matches.size() > kMaxMatchesPerEntry) return;
+  const uint64_t h = HashKey(key, epoch);
+  size_t pos = h & mask_;
+  while (index_[pos] != kNil) {
+    uint32_t s = index_[pos];
+    if (SlotMatches(slots_[s], h, key, epoch)) {
+      // Refresh: identical probes are deterministic, but overwriting keeps
+      // Insert idempotent for callers that re-resolve after a bypass.
+      Slot& slot = slots_[s];
+      slot.result.matches.assign(matches.begin(), matches.end());
+      slot.result.fetched = fetched;
+      slot.result.work_units = work_units;
+      if (lru_head_ != s) {
+        Unlink(s);
+        PushFront(s);
+      }
+      return;
+    }
+    pos = (pos + 1) & mask_;
+  }
+
+  uint32_t s;
+  if (used_ < capacity_) {
+    s = static_cast<uint32_t>(used_++);
+  } else {
+    // Recycle the LRU victim in place: unhook it from the index (probe from
+    // its recorded hash) and reuse its buffers.
+    s = lru_tail_;
+    Unlink(s);
+    size_t victim_pos = slots_[s].hash & mask_;
+    while (index_[victim_pos] != s) victim_pos = (victim_pos + 1) & mask_;
+    EraseIndexAt(victim_pos);
+  }
+
+  Slot& slot = slots_[s];
+  slot.hash = h;
+  slot.epoch = epoch;
+  slot.is_string = key.type == DataType::kString;
+  if (slot.is_string) {
+    slot.str.assign(key.str.data(), key.str.size());
+    slot.enc = 0;
+  } else {
+    slot.enc = key.enc;
+    slot.str.clear();
+  }
+  slot.result.matches.assign(matches.begin(), matches.end());
+  slot.result.fetched = fetched;
+  slot.result.work_units = work_units;
+
+  // Re-probe for the free position: the backward shift above may have
+  // rearranged the chain that contained the victim.
+  pos = h & mask_;
+  while (index_[pos] != kNil) pos = (pos + 1) & mask_;
+  index_[pos] = s;
+  PushFront(s);
+}
+
+void ProbeCache::Clear() {
+  if (capacity_ == 0) return;
+  used_ = 0;
+  lru_head_ = lru_tail_ = kNil;
+  index_.assign(index_.size(), kNil);
+  for (Slot& s : slots_) s.lru_prev = s.lru_next = kNil;
+}
+
+}  // namespace ajr

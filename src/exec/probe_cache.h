@@ -1,0 +1,111 @@
+// ProbeCache: bounded per-leg memoization of index-probe results.
+//
+// Joins with skewed key distributions probe the same hot keys over and
+// over; tables and indexes are immutable for the duration of a query, so a
+// probe's outcome — the matched RID list, the rows fetched, and the exact
+// work units the probe charged — is a pure function of the probe key. The
+// cache replays that triple for repeated keys, skipping the physical tree
+// descent while keeping work-unit accounting bit-identical (the adaptive
+// controller and the differential oracle see the same numbers either way).
+//
+// The one run-time event that changes a probe's outcome is the demotion of
+// a driving leg: from then on the leg filters matches through a positional
+// predicate (Sec 4.2). Entries are therefore tagged with an epoch the
+// executor bumps at every demotion, and the executor additionally bypasses
+// the cache entirely while a positional predicate is active — the epoch tag
+// guarantees no stale entry can survive a demotion even if the bypass rule
+// evolves.
+//
+// Layout: the cache sits on the probe hot path of every inner leg, so it is
+// a flat slot array with an open-addressed index and an intrusive LRU list
+// (slot numbers as links). Eviction recycles the victim slot in place —
+// its match vector and string buffer keep their capacity — so steady-state
+// operation performs no allocation even at 0% hit rate on unique-key
+// streams, where a node-based map would allocate and free per probe.
+//
+// Thread safety: none. A ProbeCache belongs to one executor leg on one
+// thread, like every other per-query structure.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/heap_table.h"
+#include "storage/key_codec.h"
+
+namespace ajr {
+
+/// LRU map from (probe key, epoch) to the probe's replayable outcome.
+class ProbeCache {
+ public:
+  /// One memoized probe: everything the executor needs to account for the
+  /// probe as if it had run — matched RIDs (post local predicate), rows
+  /// fetched from the heap, and total work units charged.
+  struct Result {
+    std::vector<Rid> matches;
+    uint64_t fetched = 0;
+    uint64_t work_units = 0;
+  };
+
+  /// `capacity` == 0 makes every Lookup a miss and Insert a no-op.
+  explicit ProbeCache(size_t capacity);
+
+  /// The entry for `key` at `epoch`, or nullptr. A hit refreshes LRU
+  /// recency. The epoch is part of the lookup identity, so entries
+  /// memoized under an older epoch can never be returned — they age out
+  /// through the LRU. The pointer is valid until the next Insert/Clear.
+  const Result* Lookup(const IndexKey& key, uint32_t epoch);
+
+  /// Memoizes a probe outcome for `key` at `epoch`, evicting the least
+  /// recently used entry when full. Oversized match lists
+  /// (> kMaxMatchesPerEntry) are not cached — one mega-key must not pin
+  /// unbounded memory.
+  void Insert(const IndexKey& key, uint32_t epoch, const std::vector<Rid>& matches,
+              uint64_t fetched, uint64_t work_units);
+
+  /// Empties the cache; slot buffers keep their capacity for reuse.
+  void Clear();
+  size_t size() const { return used_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Cap on cached matches per entry (memory guard, see Insert).
+  static constexpr size_t kMaxMatchesPerEntry = 4096;
+
+ private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  /// One cache entry. String keys own their bytes here (IndexKey borrows
+  /// them from a table pool that outlives the query, but not necessarily
+  /// this entry's recency).
+  struct Slot {
+    uint64_t hash = 0;  ///< full (key, epoch) hash; avoids rehash on evict
+    uint64_t enc = 0;
+    std::string str;
+    uint32_t epoch = 0;
+    bool is_string = false;
+    Result result;
+    uint32_t lru_prev = kNil;
+    uint32_t lru_next = kNil;
+  };
+
+  static uint64_t HashKey(const IndexKey& key, uint32_t epoch);
+  bool SlotMatches(const Slot& s, uint64_t hash, const IndexKey& key,
+                   uint32_t epoch) const;
+  void Unlink(uint32_t s);
+  void PushFront(uint32_t s);
+  /// Backward-shift deletion of index position `pos` (linear probing keeps
+  /// no tombstones, so probe chains stay short forever).
+  void EraseIndexAt(size_t pos);
+
+  size_t capacity_;
+  size_t mask_ = 0;  ///< index_.size() - 1 (power of two, <= 50% load)
+  size_t used_ = 0;
+  std::vector<Slot> slots_;       ///< size capacity_; [0, used_) are live
+  std::vector<uint32_t> index_;   ///< open-addressed slot numbers (or kNil)
+  uint32_t lru_head_ = kNil;      ///< most recently used
+  uint32_t lru_tail_ = kNil;      ///< eviction victim
+};
+
+}  // namespace ajr

@@ -97,6 +97,7 @@ void QueryEngine::RunQuery(const std::shared_ptr<QuerySession>& session,
 
   PipelineExecutor executor(plan.get(), spec.adaptive);
   executor.set_cancellation_token(&session->token);
+  executor.set_metrics(metrics_);
 
   RowSink sink;
   if (spec.collect_rows && spec.sink) {

@@ -116,6 +116,23 @@ class BPlusTree {
   /// Materializes a stored key slot as an owned Value.
   Value DecodeKey(uint64_t stored) const;
 
+  /// Descent memory for batched probes: remembers the leaf a previous
+  /// Seek landed on so a later Seek for a nearby, not-smaller key can
+  /// resume from that leaf (a few leaf-chain hops) instead of descending
+  /// from the root. Opaque to callers; updated by every SeekHinted /
+  /// SeekAfterHinted call. Like an Iterator, a hint is invalidated by any
+  /// tree mutation (Insert / BulkLoad) — discard it before mutating.
+  class SeekHint {
+   public:
+    SeekHint() = default;
+    /// Forgets the remembered leaf; the next hinted seek descends fresh.
+    void Reset() { leaf_ = nullptr; }
+
+   private:
+    friend class BPlusTree;
+    void* leaf_ = nullptr;  // LeafNode*
+  };
+
   /// Forward iterator over leaf entries. Obtained from the Seek* methods;
   /// walking past the last entry makes it invalid.
   class Iterator {
@@ -150,6 +167,23 @@ class BPlusTree {
   /// First entry strictly after (key, rid) — used to resume a saved cursor.
   Iterator SeekAfter(const IndexKey& key, Rid rid, WorkCounter* wc) const;
   Iterator SeekAfter(const Value& key, Rid rid, WorkCounter* wc) const;
+
+  /// Hint-resuming Seek: returns the same iterator position and charges the
+  /// same work units as Seek(key, inclusive, wc) — the charge is always the
+  /// as-if cost of a fresh root-to-leaf descent, so work-unit accounting is
+  /// independent of the physical path taken — but when `hint` already sits
+  /// at or shortly before the target leaf the physical walk is a handful of
+  /// leaf-chain hops (with the next leaf software-prefetched) instead of a
+  /// full descent. Keys below the hint or far past it fall back to a fresh
+  /// descent, so arbitrary key sequences are safe; sorted batches are what
+  /// make the hint pay off. `*used_hint` (optional) reports whether the
+  /// root descent was skipped.
+  Iterator SeekHinted(const IndexKey& key, bool inclusive, SeekHint* hint,
+                      WorkCounter* wc, bool* used_hint = nullptr) const;
+
+  /// Hinted SeekAfter with the same contract as SeekHinted vs Seek.
+  Iterator SeekAfterHinted(const IndexKey& key, Rid rid, SeekHint* hint,
+                           WorkCounter* wc, bool* used_hint = nullptr) const;
 
   /// Number of entries with key strictly less than `key`. O(height) via
   /// per-child subtree counts (the "key range cardinality" statistic
@@ -190,6 +224,8 @@ class BPlusTree {
   uint64_t EncodeForStore(const Value& key);
 
   Iterator SeekEntry(const IndexKey& key, Rid rid, WorkCounter* wc) const;
+  Iterator SeekEntryHinted(const IndexKey& key, Rid rid, SeekHint* hint,
+                           WorkCounter* wc, bool* used_hint) const;
   size_t CountBefore(const IndexKey& key, Rid rid) const;
 
   DataType key_type_;

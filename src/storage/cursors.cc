@@ -145,4 +145,19 @@ bool IndexProbe::Next(WorkCounter* wc, Rid* rid) {
   return true;
 }
 
+bool HintedIndexProbe::Seek(const IndexKey& key, WorkCounter* wc) {
+  key_ = key;
+  bool used_hint = false;
+  iter_ = tree_->SeekHinted(key_, /*inclusive=*/true, &hint_, wc, &used_hint);
+  return used_hint;
+}
+
+bool HintedIndexProbe::Next(WorkCounter* wc, Rid* rid) {
+  if (!iter_.Valid()) return false;
+  if (!tree_->ProbeEquals(key_, iter_.key_slot())) return false;
+  *rid = iter_.rid();
+  iter_.Next(wc);
+  return true;
+}
+
 }  // namespace ajr

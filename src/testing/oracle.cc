@@ -36,6 +36,57 @@ bool StrictlyAfter(const ScanPosition& prev, const ScanPosition& pos) {
   return prev.StrictlyBefore(pos.key(), pos.rid);
 }
 
+std::string OrderToString(const std::vector<size_t>& order) {
+  std::string out = "[";
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(order[i]);
+  }
+  return out + "]";
+}
+
+// First logical-work field where `b` diverges from `a`, or nullopt when
+// the two runs did the same work. Probe-strategy stats (probe_cache_*,
+// probe_batches, probe_batch_keys, probe_descents_saved) and wall time are
+// deliberately excluded: they describe HOW the work ran, not what work the
+// controller saw.
+std::optional<std::string> WorkStatsDiff(const ExecStats& a, const ExecStats& b) {
+  auto diff_u64 = [](const char* field, uint64_t x, uint64_t y)
+      -> std::optional<std::string> {
+    if (x == y) return std::nullopt;
+    return StrCat(field, ": ", x, " vs ", y);
+  };
+  for (auto& d :
+       {diff_u64("work_units", a.work_units, b.work_units),
+        diff_u64("rows_out", a.rows_out, b.rows_out),
+        diff_u64("driving_rows_produced", a.driving_rows_produced,
+                 b.driving_rows_produced),
+        diff_u64("inner_checks", a.inner_checks, b.inner_checks),
+        diff_u64("inner_reorders", a.inner_reorders, b.inner_reorders),
+        diff_u64("driving_checks", a.driving_checks, b.driving_checks),
+        diff_u64("driving_switches", a.driving_switches, b.driving_switches)}) {
+    if (d.has_value()) return d;
+  }
+  if (a.initial_order != b.initial_order) {
+    return StrCat("initial_order: ", OrderToString(a.initial_order), " vs ",
+                  OrderToString(b.initial_order));
+  }
+  if (a.final_order != b.final_order) {
+    return StrCat("final_order: ", OrderToString(a.final_order), " vs ",
+                  OrderToString(b.final_order));
+  }
+  if (a.events != b.events) {
+    size_t i = 0;
+    while (i < a.events.size() && i < b.events.size() && a.events[i] == b.events[i]) {
+      ++i;
+    }
+    return StrCat("event log diverges at event ", i, ": \"",
+                  i < a.events.size() ? a.events[i] : "<none>", "\" vs \"",
+                  i < b.events.size() ? b.events[i] : "<none>", "\"");
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 AdaptiveOptions AggressiveAdaptiveOptions() {
@@ -54,11 +105,34 @@ std::vector<DifferentialConfig> DefaultConfigs() {
   AdaptiveOptions off;
   off.reorder_inners = false;
   off.reorder_driving = false;
+  // Probe-strategy variants: per-row (batching and memoization off), batch
+  // descent only, memoization only, and both (the AdaptiveOptions default).
+  // All four of a class must produce bit-identical logical work.
+  auto probes = [](AdaptiveOptions base, size_t batch, size_t cache) {
+    base.probe_batch_size = batch;
+    base.probe_cache_entries = cache;
+    return base;
+  };
+  AdaptiveOptions aggressive = AggressiveAdaptiveOptions();
+  const size_t kBatch = AdaptiveOptions{}.probe_batch_size;
+  const size_t kCache = AdaptiveOptions{}.probe_cache_entries;
   return {
-      {"static", off, StatsTier::kBase},
-      {"paper-default", AdaptiveOptions{}, StatsTier::kMinimal},
-      {"aggressive-minimal", AggressiveAdaptiveOptions(), StatsTier::kMinimal},
-      {"aggressive-base", AggressiveAdaptiveOptions(), StatsTier::kBase},
+      {"static", off, StatsTier::kBase, "static"},
+      {"static/per-row", probes(off, 1, 0), StatsTier::kBase, "static"},
+      {"paper-default", AdaptiveOptions{}, StatsTier::kMinimal, "paper"},
+      {"paper-default/per-row", probes(AdaptiveOptions{}, 1, 0),
+       StatsTier::kMinimal, "paper"},
+      {"aggressive-minimal", aggressive, StatsTier::kMinimal, ""},
+      // The aggressive class demotes and re-promotes on nearly every check,
+      // so the memoized variants repeatedly hit warm cache entries across
+      // demotion epochs — the hardest case for replayed accounting.
+      {"aggressive-base", aggressive, StatsTier::kBase, "aggressive"},
+      {"aggressive-base/per-row", probes(aggressive, 1, 0), StatsTier::kBase,
+       "aggressive"},
+      {"aggressive-base/batch-only", probes(aggressive, kBatch, 0),
+       StatsTier::kBase, "aggressive"},
+      {"aggressive-base/memo-only", probes(aggressive, 1, kCache),
+       StatsTier::kBase, "aggressive"},
   };
 }
 
@@ -173,6 +247,10 @@ StatusOr<std::optional<FailureReport>> RunDifferential(
 
   const std::vector<DifferentialConfig> configs =
       options.configs.empty() ? DefaultConfigs() : options.configs;
+  // Reference run per work_class: name of the first config in the class
+  // plus its stats, compared against every later member.
+  std::vector<std::pair<std::string, ExecStats>> class_stats;
+  std::vector<std::string> class_names;
   for (const DifferentialConfig& config : configs) {
     FailureReport failure;
     failure.seed = spec.seed;
@@ -197,6 +275,23 @@ StatusOr<std::optional<FailureReport>> RunDifferential(
       failure.kind = "error";
       failure.detail = StrCat("executor: ", stats.status().ToString());
       return std::optional<FailureReport>(std::move(failure));
+    }
+    if (!config.work_class.empty()) {
+      size_t cls = 0;
+      while (cls < class_names.size() && class_names[cls] != config.work_class) {
+        ++cls;
+      }
+      if (cls == class_names.size()) {
+        class_names.push_back(config.work_class);
+        class_stats.emplace_back(config.name, *stats);
+      } else if (std::optional<std::string> diff =
+                     WorkStatsDiff(class_stats[cls].second, *stats)) {
+        failure.kind = "work-divergence";
+        failure.detail = StrCat("logical work differs from config \"",
+                                class_stats[cls].first, "\" (work_class \"",
+                                config.work_class, "\"): ", *diff);
+        return std::optional<FailureReport>(std::move(failure));
+      }
     }
     if (options.check_invariants) {
       checker.FinalCheck(*stats);

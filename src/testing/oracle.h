@@ -49,11 +49,24 @@ struct DifferentialConfig {
   std::string name;
   AdaptiveOptions adaptive;
   StatsTier stats_tier = StatsTier::kBase;
+  /// Configurations sharing a non-empty work_class claim to perform the
+  /// same LOGICAL work — batching, hinted descent, and memoization are
+  /// pure execution strategies, so every stat the adaptive controller can
+  /// see (work units, row counts, checks, reorders, the event log, the
+  /// final order) must be bit-identical across the class. RunDifferential
+  /// enforces this and reports divergence as kind "work-divergence".
+  /// Configs in one class must share a stats_tier (different tiers plan
+  /// differently on purpose).
+  std::string work_class;
 };
 
 /// The default configuration spread: static plan, paper defaults, and an
 /// aggressive config that maximizes moments-of-symmetry churn (check every
-/// row, zero thresholds, window of 4) under both statistics tiers.
+/// row, zero thresholds, window of 4) under both statistics tiers. The
+/// static, paper-default, and aggressive-base configs additionally run
+/// batched-probe variants (batch on/off x memoization on/off) in a shared
+/// work_class; the aggressive class demotes and re-promotes constantly, so
+/// its memoized variants exercise warm-cache epochs across demotion.
 std::vector<DifferentialConfig> DefaultConfigs();
 
 /// The aggressive AdaptiveOptions used by DefaultConfigs (exported for
@@ -64,7 +77,7 @@ AdaptiveOptions AggressiveAdaptiveOptions();
 struct FailureReport {
   uint64_t seed = 0;
   std::string config;  ///< DifferentialConfig::name
-  std::string kind;    ///< "result-mismatch" | "invariant" | "error"
+  std::string kind;    ///< "result-mismatch" | "invariant" | "work-divergence" | "error"
   std::string detail;
 
   std::string ToString() const;

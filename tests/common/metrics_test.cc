@@ -7,6 +7,11 @@
 #include <thread>
 #include <vector>
 
+#include "exec/pipeline_executor.h"
+#include "optimize/planner.h"
+#include "workload/dmv.h"
+#include "workload/templates.h"
+
 namespace ajr {
 namespace {
 
@@ -147,6 +152,51 @@ TEST(MetricsRegistryTest, ResetAllKeepsRegistrations) {
 
 TEST(MetricsRegistryTest, GlobalIsASingleton) {
   EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(MetricsRegistryTest, ExecutorExportsProbeCounters) {
+  // An executor handed a registry must flush its batched-probe stats into
+  // the exec.probe_* counters; without set_metrics it must not touch the
+  // global registry.
+  Catalog catalog;
+  DmvConfig config;
+  config.num_owners = 500;
+  ASSERT_TRUE(GenerateDmv(&catalog, config).ok());
+  Planner planner(&catalog);
+  auto plan = planner.Plan(DmvQueryGenerator::Example1());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  MetricsRegistry reg;
+  PipelineExecutor exec(plan->get());
+  exec.set_metrics(&reg);
+  auto stats = exec.Execute(nullptr);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  for (const char* name :
+       {"exec.probe_cache_hits", "exec.probe_cache_misses", "exec.probe_batches",
+        "exec.probe_batch_keys", "exec.probe_descents_saved"}) {
+    ASSERT_NE(reg.FindCounter(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.FindCounter("exec.probe_batches")->value(), stats->probe_batches);
+  EXPECT_EQ(reg.FindCounter("exec.probe_batch_keys")->value(),
+            stats->probe_batch_keys);
+  EXPECT_EQ(reg.FindCounter("exec.probe_cache_hits")->value(),
+            stats->probe_cache_hits);
+  EXPECT_EQ(reg.FindCounter("exec.probe_cache_misses")->value(),
+            stats->probe_cache_misses);
+  EXPECT_EQ(reg.FindCounter("exec.probe_descents_saved")->value(),
+            stats->probe_descents_saved);
+  EXPECT_GT(stats->probe_batches, 0u);
+
+  // A second executor accumulates into the same counters.
+  auto plan2 = planner.Plan(DmvQueryGenerator::Example2());
+  ASSERT_TRUE(plan2.ok());
+  PipelineExecutor exec2(plan2->get());
+  exec2.set_metrics(&reg);
+  auto stats2 = exec2.Execute(nullptr);
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(reg.FindCounter("exec.probe_batches")->value(),
+            stats->probe_batches + stats2->probe_batches);
 }
 
 TEST(MetricsRegistryTest, ConcurrentGetAndRecord) {

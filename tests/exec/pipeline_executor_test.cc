@@ -247,5 +247,87 @@ TEST_P(WindowSweep, CorrectUnderAnyWindowSize) {
 INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
                          ::testing::Values(1u, 2u, 10u, 100u, 1000u));
 
+// ---- Batched probes & memoization ------------------------------------------
+//
+// Batching, hinted descent, and the probe cache are execution strategies:
+// every stat the adaptive controller can observe must be bit-identical to
+// per-row execution, under every adaptation mode.
+
+namespace {
+
+AdaptiveOptions WithProbes(AdaptiveOptions o, size_t batch, size_t cache) {
+  o.probe_batch_size = batch;
+  o.probe_cache_entries = cache;
+  return o;
+}
+
+void ExpectSameLogicalWork(const ExecStats& a, const ExecStats& b,
+                           const char* what) {
+  EXPECT_EQ(a.work_units, b.work_units) << what;
+  EXPECT_EQ(a.rows_out, b.rows_out) << what;
+  EXPECT_EQ(a.driving_rows_produced, b.driving_rows_produced) << what;
+  EXPECT_EQ(a.inner_checks, b.inner_checks) << what;
+  EXPECT_EQ(a.inner_reorders, b.inner_reorders) << what;
+  EXPECT_EQ(a.driving_checks, b.driving_checks) << what;
+  EXPECT_EQ(a.driving_switches, b.driving_switches) << what;
+  EXPECT_EQ(a.final_order, b.final_order) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+}
+
+}  // namespace
+
+TEST_F(PipelineExecutorTest, BatchedProbesMatchPerRowExecution) {
+  DmvQueryGenerator gen(catalog_);
+  for (int tmpl : {1, 2, 3, 4, 5}) {
+    auto q = gen.Generate(tmpl, 0);
+    ASSERT_TRUE(q.ok());
+    for (AdaptiveOptions base : {Static(), AdaptiveOptions{}, Aggressive()}) {
+      ExecStats per_row, batched, memoized;
+      auto rows_per_row = RunPipeline(*q, WithProbes(base, 1, 0), &per_row);
+      auto rows_batched = RunPipeline(*q, WithProbes(base, 64, 0), &batched);
+      auto rows_memoized = RunPipeline(*q, WithProbes(base, 64, 128), &memoized);
+      EXPECT_EQ(rows_batched, rows_per_row) << q->name;
+      EXPECT_EQ(rows_memoized, rows_per_row) << q->name;
+      ExpectSameLogicalWork(per_row, batched, q->name.c_str());
+      ExpectSameLogicalWork(per_row, memoized, q->name.c_str());
+      // Per-row execution must not report batch activity.
+      EXPECT_EQ(per_row.probe_batches, 0u);
+      EXPECT_EQ(per_row.probe_cache_hits + per_row.probe_cache_misses, 0u);
+    }
+  }
+}
+
+TEST_F(PipelineExecutorTest, BatchedProbeStatsArePopulated) {
+  JoinQuery q = DmvQueryGenerator::Example1();
+  ExecStats stats;
+  RunPipeline(q, WithProbes(Aggressive(), 64, 128), &stats);
+  EXPECT_GT(stats.probe_batches, 0u);
+  EXPECT_GE(stats.probe_batch_keys, stats.probe_batches);
+  // Every cache-eligible probe resolves as a hit or a miss; the DMV join
+  // keys repeat (many cars per owner), so both sides must show up.
+  EXPECT_GT(stats.probe_cache_misses, 0u);
+  EXPECT_GT(stats.probe_cache_hits, 0u);
+  EXPECT_GE(stats.probe_descents_saved, stats.probe_cache_hits);
+}
+
+TEST_F(PipelineExecutorTest, WarmCacheAcrossDemotionMatchesPerRow) {
+  // Aggressive driving switches demote and re-promote legs while their
+  // caches are warm; the epoch tag plus the positional-predicate bypass
+  // must keep results and accounting identical to per-row execution.
+  DmvQueryGenerator gen(catalog_);
+  for (int tmpl : {2, 4}) {
+    for (size_t variant = 0; variant < 3; ++variant) {
+      auto q = gen.Generate(tmpl, variant);
+      ASSERT_TRUE(q.ok());
+      ExecStats per_row, memoized;
+      auto rows_per_row = RunPipeline(*q, WithProbes(Aggressive(), 1, 0), &per_row);
+      auto rows_memoized = RunPipeline(*q, WithProbes(Aggressive(), 64, 64),
+                                       &memoized);
+      EXPECT_EQ(rows_memoized, rows_per_row) << q->name;
+      ExpectSameLogicalWork(per_row, memoized, q->name.c_str());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ajr

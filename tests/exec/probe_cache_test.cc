@@ -1,0 +1,169 @@
+#include "exec/probe_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ajr {
+namespace {
+
+std::vector<Rid> Rids(std::initializer_list<Rid> rids) { return rids; }
+
+TEST(ProbeCacheTest, InsertLookupRoundtrip) {
+  ProbeCache cache(4);
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(7), 0), nullptr);
+  cache.Insert(IndexKey::Int64(7), 0, Rids({10, 11, 12}), 3, 42);
+  const ProbeCache::Result* r = cache.Lookup(IndexKey::Int64(7), 0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->matches, Rids({10, 11, 12}));
+  EXPECT_EQ(r->fetched, 3u);
+  EXPECT_EQ(r->work_units, 42u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProbeCacheTest, EpochIsPartOfTheKey) {
+  ProbeCache cache(4);
+  cache.Insert(IndexKey::Int64(7), 0, Rids({1}), 1, 10);
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(7), 1), nullptr)
+      << "entry from epoch 0 visible at epoch 1";
+  cache.Insert(IndexKey::Int64(7), 1, Rids({2}), 1, 20);
+  ASSERT_NE(cache.Lookup(IndexKey::Int64(7), 0), nullptr);
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(7), 0)->matches, Rids({1}));
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(7), 1)->matches, Rids({2}));
+}
+
+TEST(ProbeCacheTest, LruEvictionOrder) {
+  ProbeCache cache(3);
+  cache.Insert(IndexKey::Int64(1), 0, Rids({1}), 1, 1);
+  cache.Insert(IndexKey::Int64(2), 0, Rids({2}), 1, 1);
+  cache.Insert(IndexKey::Int64(3), 0, Rids({3}), 1, 1);
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(IndexKey::Int64(1), 0), nullptr);
+  cache.Insert(IndexKey::Int64(4), 0, Rids({4}), 1, 1);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_NE(cache.Lookup(IndexKey::Int64(1), 0), nullptr);
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(2), 0), nullptr) << "LRU not evicted";
+  EXPECT_NE(cache.Lookup(IndexKey::Int64(3), 0), nullptr);
+  EXPECT_NE(cache.Lookup(IndexKey::Int64(4), 0), nullptr);
+}
+
+TEST(ProbeCacheTest, CapacityZeroDisables) {
+  ProbeCache cache(0);
+  cache.Insert(IndexKey::Int64(1), 0, Rids({1}), 1, 1);
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(1), 0), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Clear();
+}
+
+TEST(ProbeCacheTest, OversizedEntriesAreNotCached) {
+  ProbeCache cache(4);
+  std::vector<Rid> huge(ProbeCache::kMaxMatchesPerEntry + 1, 1);
+  cache.Insert(IndexKey::Int64(1), 0, huge, huge.size(), 1);
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(1), 0), nullptr);
+  std::vector<Rid> max(ProbeCache::kMaxMatchesPerEntry, 1);
+  cache.Insert(IndexKey::Int64(2), 0, max, max.size(), 1);
+  EXPECT_NE(cache.Lookup(IndexKey::Int64(2), 0), nullptr);
+}
+
+TEST(ProbeCacheTest, StringKeysOwnTheirBytes) {
+  ProbeCache cache(4);
+  {
+    std::string transient = "hello_world_key";
+    cache.Insert(IndexKey::String(transient), 0, Rids({5}), 1, 7);
+    transient.assign("scribbled_over!");
+  }
+  std::string probe = "hello_world_key";
+  const ProbeCache::Result* r = cache.Lookup(IndexKey::String(probe), 0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->matches, Rids({5}));
+  // Same bytes, different type identity: an int64 key never matches.
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(5), 0), nullptr);
+}
+
+TEST(ProbeCacheTest, ReinsertRefreshesValueAndRecency) {
+  ProbeCache cache(2);
+  cache.Insert(IndexKey::Int64(1), 0, Rids({1}), 1, 1);
+  cache.Insert(IndexKey::Int64(2), 0, Rids({2}), 1, 1);
+  cache.Insert(IndexKey::Int64(1), 0, Rids({10, 11}), 2, 9);
+  EXPECT_EQ(cache.size(), 2u);
+  const ProbeCache::Result* r = cache.Lookup(IndexKey::Int64(1), 0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->matches, Rids({10, 11}));
+  EXPECT_EQ(r->work_units, 9u);
+  // 2 is now the LRU entry.
+  cache.Insert(IndexKey::Int64(3), 0, Rids({3}), 1, 1);
+  EXPECT_EQ(cache.Lookup(IndexKey::Int64(2), 0), nullptr);
+}
+
+TEST(ProbeCacheTest, ClearEmptiesButKeepsWorking) {
+  ProbeCache cache(4);
+  for (int64_t k = 0; k < 4; ++k) {
+    cache.Insert(IndexKey::Int64(k), 0, Rids({static_cast<Rid>(k)}), 1, 1);
+  }
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(cache.Lookup(IndexKey::Int64(k), 0), nullptr);
+  }
+  cache.Insert(IndexKey::Int64(9), 0, Rids({9}), 1, 1);
+  ASSERT_NE(cache.Lookup(IndexKey::Int64(9), 0), nullptr);
+}
+
+// Model check: the flat slot-array + open-addressed index + intrusive LRU
+// must behave exactly like the obvious map + recency list over long random
+// op sequences (the backward-shift deletion and in-place victim recycling
+// are where subtle bugs would live).
+TEST(ProbeCacheTest, MatchesReferenceModelUnderChurn) {
+  Rng rng(20070402);
+  for (size_t capacity : {1u, 2u, 3u, 8u, 17u}) {
+    ProbeCache cache(capacity);
+    std::list<std::pair<int64_t, uint32_t>> lru;  // front = most recent
+    std::map<std::pair<int64_t, uint32_t>, std::vector<Rid>> model;
+    auto model_touch = [&](std::pair<int64_t, uint32_t> k) {
+      for (auto it = lru.begin(); it != lru.end(); ++it) {
+        if (*it == k) {
+          lru.erase(it);
+          break;
+        }
+      }
+      lru.push_front(k);
+    };
+    for (int op = 0; op < 4000; ++op) {
+      std::pair<int64_t, uint32_t> k = {
+          rng.NextInt64(0, static_cast<int64_t>(capacity) * 3),
+          static_cast<uint32_t>(rng.NextInt64(0, 1))};
+      IndexKey key = IndexKey::Int64(k.first);
+      if (rng.NextBool(0.5)) {
+        const ProbeCache::Result* got = cache.Lookup(key, k.second);
+        auto it = model.find(k);
+        if (it == model.end()) {
+          ASSERT_EQ(got, nullptr) << "op " << op << ": phantom hit";
+        } else {
+          ASSERT_NE(got, nullptr) << "op " << op << ": lost entry";
+          ASSERT_EQ(got->matches, it->second) << "op " << op;
+          model_touch(k);
+        }
+      } else {
+        std::vector<Rid> matches(static_cast<size_t>(rng.NextInt64(0, 4)),
+                                 static_cast<Rid>(op));
+        cache.Insert(key, k.second, matches, matches.size(), static_cast<uint64_t>(op));
+        if (model.count(k) == 0 && model.size() == capacity) {
+          model.erase(lru.back());
+          lru.pop_back();
+        }
+        model[k] = matches;
+        model_touch(k);
+      }
+      ASSERT_EQ(cache.size(), model.size()) << "op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ajr

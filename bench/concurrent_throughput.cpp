@@ -6,11 +6,17 @@
 // that every query produced exactly the serial row count — adaptive
 // reordering under concurrency must not change results.
 //
-//   $ ./build/bench/concurrent_throughput --owners=100000 --workers=8 \
-//         --per-template=30
+// The concurrent pass runs once per intra-query dop in --dops (default
+// "1,2"): dop=1 is inter-query parallelism only, higher dops additionally
+// split each query's driving scan into morsels across the same worker
+// pool, so the axis shows how intra-query parallelism trades against
+// query-level concurrency on a fixed pool.
+//
+//   $ ./build/bench/concurrent_throughput --owners=100000 --workers=8
+//         --per-template=30 --dops=1,2,4
 //
 // Flags: --owners=N --per-template=N --workers=N --seed=N
-//        --stats=minimal|base|rich
+//        --stats=minimal|base|rich --dops=CSV --morsel-size=N
 
 #include <algorithm>
 #include <chrono>
@@ -32,6 +38,8 @@ namespace {
 struct Flags {
   HarnessFlags common;
   size_t workers = 0;  // 0 = hardware concurrency (at least 4)
+  std::vector<size_t> dops = {1, 2};  // intra-query dop axis
+  size_t morsel_size = 0;  // 0 = executor auto-sizing
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -40,6 +48,19 @@ Flags ParseFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       flags.workers = static_cast<size_t>(std::strtoull(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--dops=", 7) == 0) {
+      flags.dops.clear();
+      for (const char* p = argv[i] + 7; *p != '\0';) {
+        char* end = nullptr;
+        size_t d = static_cast<size_t>(std::strtoull(p, &end, 10));
+        if (end == p) break;
+        flags.dops.push_back(std::max<size_t>(1, d));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (flags.dops.empty()) flags.dops.push_back(1);
+    } else if (std::strncmp(argv[i], "--morsel-size=", 14) == 0) {
+      flags.morsel_size =
+          static_cast<size_t>(std::strtoull(argv[i] + 14, nullptr, 10));
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -100,82 +121,107 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - serial_start)
           .count();
 
-  // ---- Concurrent pass through the engine. ----
-  std::printf("Concurrent pass: %zu workers...\n", flags.workers);
-  MetricsRegistry metrics;
-  QueryEngineOptions eopts;
-  eopts.num_workers = flags.workers;
-  eopts.planner.stats_tier = flags.common.stats_tier;
-  eopts.metrics = &metrics;
-  QueryEngine engine(&bench.catalog(), eopts);
-
-  std::vector<QueryHandle> handles;
-  handles.reserve(queries.size());
-  const auto conc_start = std::chrono::steady_clock::now();
-  for (const JoinQuery& q : queries) {
-    QuerySpec spec;
-    spec.query = q;
-    spec.adaptive = adaptive;
-    auto handle = engine.Submit(std::move(spec));
-    if (!handle.ok()) {
-      std::fprintf(stderr, "submit failed: %s\n", handle.status().ToString().c_str());
-      return 1;
-    }
-    handles.push_back(*handle);
-  }
-  size_t mismatches = 0;
-  std::vector<double> exec_latency_ms;
-  exec_latency_ms.reserve(handles.size());
-  for (size_t i = 0; i < handles.size(); ++i) {
-    const QueryResult& result = handles[i].Wait();
-    if (!result.status.ok()) {
-      std::fprintf(stderr, "query %s failed: %s\n", handles[i].name().c_str(),
-                   result.status.ToString().c_str());
-      return 1;
-    }
-    exec_latency_ms.push_back(result.stats.wall_seconds * 1000.0);
-    if (result.stats.rows_out != serial_rows[i]) {
-      ++mismatches;
-      std::fprintf(stderr, "ROW MISMATCH %s: serial=%llu concurrent=%llu\n",
-                   handles[i].name().c_str(),
-                   static_cast<unsigned long long>(serial_rows[i]),
-                   static_cast<unsigned long long>(result.stats.rows_out));
-    }
-  }
-  const double conc_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - conc_start)
-          .count();
-  engine.Shutdown();
-
-  // ---- Report. ----
+  // ---- Concurrent passes through the engine, one per intra-query dop. ----
   const double n = static_cast<double>(queries.size());
   JsonReport report("concurrent_throughput", flags.common);
   report.AddMetric("workers", static_cast<double>(flags.workers));
   report.AddMetric("serial_qps", n / serial_s);
-  report.AddMetric("concurrent_qps", n / conc_s);
-  report.AddMetric("speedup", serial_s / conc_s);
-  report.AddMetric("exec_latency_p50_ms", Percentile(exec_latency_ms, 0.50));
-  report.AddMetric("exec_latency_p95_ms", Percentile(exec_latency_ms, 0.95));
-  report.AddMetric("exec_latency_p99_ms", Percentile(exec_latency_ms, 0.99));
-  report.AddMetric("row_mismatches", static_cast<double>(mismatches));
-  const Histogram* e2e = metrics.FindHistogram("engine.query_latency_us");
-  std::printf("\nConcurrent throughput (%zu queries, %zu workers)\n",
-              queries.size(), flags.workers);
-  std::printf("  serial        : %.2f s  (%.1f QPS)\n", serial_s, n / serial_s);
-  std::printf("  concurrent    : %.2f s  (%.1f QPS, %.2fx)\n", conc_s, n / conc_s,
-              serial_s / conc_s);
-  std::printf("  exec latency  : p50=%.2f ms  p95=%.2f ms  p99=%.2f ms\n",
-              Percentile(exec_latency_ms, 0.50), Percentile(exec_latency_ms, 0.95),
-              Percentile(exec_latency_ms, 0.99));
-  if (e2e != nullptr) {
-    std::printf("  e2e latency   : p50=%.2f ms  p95=%.2f ms  p99=%.2f ms"
-                "  (incl. queue wait)\n",
-                e2e->Quantile(0.50) / 1000.0, e2e->Quantile(0.95) / 1000.0,
-                e2e->Quantile(0.99) / 1000.0);
+
+  size_t total_mismatches = 0;
+  std::string last_snapshot;
+  for (size_t pass = 0; pass < flags.dops.size(); ++pass) {
+    const size_t dop = flags.dops[pass];
+    std::printf("Concurrent pass: %zu workers, intra-query dop=%zu...\n",
+                flags.workers, dop);
+    MetricsRegistry metrics;
+    QueryEngineOptions eopts;
+    eopts.num_workers = flags.workers;
+    eopts.planner.stats_tier = flags.common.stats_tier;
+    eopts.metrics = &metrics;
+    QueryEngine engine(&bench.catalog(), eopts);
+
+    std::vector<QueryHandle> handles;
+    handles.reserve(queries.size());
+    const auto conc_start = std::chrono::steady_clock::now();
+    for (const JoinQuery& q : queries) {
+      QuerySpec spec;
+      spec.query = q;
+      spec.adaptive = adaptive;
+      spec.dop = dop;
+      spec.morsel_size = flags.morsel_size;
+      auto handle = engine.Submit(std::move(spec));
+      if (!handle.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n", handle.status().ToString().c_str());
+        return 1;
+      }
+      handles.push_back(*handle);
+    }
+    size_t mismatches = 0;
+    std::vector<double> exec_latency_ms;
+    exec_latency_ms.reserve(handles.size());
+    for (size_t i = 0; i < handles.size(); ++i) {
+      const QueryResult& result = handles[i].Wait();
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "query %s failed: %s\n", handles[i].name().c_str(),
+                     result.status.ToString().c_str());
+        return 1;
+      }
+      exec_latency_ms.push_back(result.stats.wall_seconds * 1000.0);
+      if (result.stats.rows_out != serial_rows[i]) {
+        ++mismatches;
+        std::fprintf(stderr, "ROW MISMATCH dop=%zu %s: serial=%llu concurrent=%llu\n",
+                     dop, handles[i].name().c_str(),
+                     static_cast<unsigned long long>(serial_rows[i]),
+                     static_cast<unsigned long long>(result.stats.rows_out));
+      }
+    }
+    const double conc_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - conc_start)
+            .count();
+    engine.Shutdown();
+    total_mismatches += mismatches;
+
+    // The first dop keeps the historical metric names so old baselines
+    // still line up; every pass also records dop-suffixed metrics.
+    if (pass == 0) {
+      report.AddMetric("concurrent_qps", n / conc_s);
+      report.AddMetric("speedup", serial_s / conc_s);
+      report.AddMetric("exec_latency_p50_ms", Percentile(exec_latency_ms, 0.50));
+      report.AddMetric("exec_latency_p95_ms", Percentile(exec_latency_ms, 0.95));
+      report.AddMetric("exec_latency_p99_ms", Percentile(exec_latency_ms, 0.99));
+      report.AddMetric("row_mismatches", static_cast<double>(mismatches));
+    }
+    const std::string suffix = "_dop" + std::to_string(dop);
+    report.AddMetric("concurrent_qps" + suffix, n / conc_s);
+    report.AddMetric("speedup" + suffix, serial_s / conc_s);
+    report.AddMetric("exec_latency_p95_ms" + suffix,
+                     Percentile(exec_latency_ms, 0.95));
+    const Counter* morsel_counter = metrics.FindCounter("exec.parallel_morsels");
+    report.AddMetric("parallel_morsels" + suffix,
+                     morsel_counter != nullptr
+                         ? static_cast<double>(morsel_counter->value())
+                         : 0.0);
+
+    const Histogram* e2e = metrics.FindHistogram("engine.query_latency_us");
+    std::printf("\nConcurrent throughput (%zu queries, %zu workers, dop=%zu)\n",
+                queries.size(), flags.workers, dop);
+    std::printf("  serial        : %.2f s  (%.1f QPS)\n", serial_s, n / serial_s);
+    std::printf("  concurrent    : %.2f s  (%.1f QPS, %.2fx)\n", conc_s, n / conc_s,
+                serial_s / conc_s);
+    std::printf("  exec latency  : p50=%.2f ms  p95=%.2f ms  p99=%.2f ms\n",
+                Percentile(exec_latency_ms, 0.50), Percentile(exec_latency_ms, 0.95),
+                Percentile(exec_latency_ms, 0.99));
+    if (e2e != nullptr) {
+      std::printf("  e2e latency   : p50=%.2f ms  p95=%.2f ms  p99=%.2f ms"
+                  "  (incl. queue wait)\n",
+                  e2e->Quantile(0.50) / 1000.0, e2e->Quantile(0.95) / 1000.0,
+                  e2e->Quantile(0.99) / 1000.0);
+    }
+    std::printf("  row counts    : %s\n",
+                mismatches == 0 ? "identical to serial execution"
+                                : "MISMATCHES (see above)");
+    last_snapshot = metrics.Snapshot();
   }
-  std::printf("  row counts    : %s\n",
-              mismatches == 0 ? "identical to serial execution"
-                              : "MISMATCHES (see above)");
-  std::printf("\nEngine metrics snapshot:\n%s", metrics.Snapshot().c_str());
-  return mismatches == 0 ? 0 : 1;
+  std::printf("\nEngine metrics snapshot (last pass):\n%s", last_snapshot.c_str());
+  return total_mismatches == 0 ? 0 : 1;
 }

@@ -24,6 +24,8 @@ HarnessFlags HarnessFlags::Parse(int argc, char** argv) {
       flags.reps = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value("--seed=")) {
       flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--dop=")) {
+      flags.dop = std::max<size_t>(1, std::strtoull(v, nullptr, 10));
     } else if (std::strcmp(arg, "--json") == 0) {
       flags.json = true;
     } else if (const char* v = value("--json=")) {
@@ -229,9 +231,18 @@ void JsonReport::Finish() {
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(name_).c_str());
+#ifndef AJR_GIT_SHA
+#define AJR_GIT_SHA "unknown"
+#endif
+#ifndef AJR_BUILD_TYPE
+#define AJR_BUILD_TYPE "unspecified"
+#endif
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n  \"build_type\": \"%s\",\n",
+               JsonEscape(AJR_GIT_SHA).c_str(), JsonEscape(AJR_BUILD_TYPE).c_str());
   std::fprintf(f, "  \"owners\": %zu,\n  \"per_template\": %zu,\n  \"reps\": %zu,\n",
                flags_.owners, flags_.per_template, flags_.reps);
-  std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(flags_.seed));
+  std::fprintf(f, "  \"seed\": %llu,\n  \"dop\": %zu,\n",
+               static_cast<unsigned long long>(flags_.seed), flags_.dop);
   std::fprintf(f, "  \"runs\": [");
   for (size_t i = 0; i < runs_.size(); ++i) {
     std::fprintf(f, "%s\n    %s", i == 0 ? "" : ",", runs_[i].c_str());

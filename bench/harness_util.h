@@ -40,6 +40,11 @@ struct HarnessFlags {
   /// (default: BENCH_<harness>.json in the working directory).
   bool json = false;
   std::string json_path;
+  /// --dop=N: intra-query degree of parallelism for harnesses that run the
+  /// morsel-parallel executor (serial figure reproductions ignore it).
+  /// Stamped into the JSON results either way, so baselines taken at
+  /// different dops never compare silently.
+  size_t dop = 1;
 
   static HarnessFlags Parse(int argc, char** argv);
 };

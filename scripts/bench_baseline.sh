@@ -36,9 +36,14 @@ echo "== baseline: fig7_scatter (reduced scale) =="
   --json="${OUT}/BENCH_fig7_scatter.json"
 
 echo
-echo "== baseline: concurrent_throughput (reduced scale) =="
+echo "== baseline: concurrent_throughput (reduced scale, dop axis) =="
 "${BUILD}/bench/concurrent_throughput" --owners=20000 --per-template=10 \
-  --workers=4 --json="${OUT}/BENCH_concurrent_throughput.json"
+  --workers=4 --dops=1,2,4 --json="${OUT}/BENCH_concurrent_throughput.json"
+
+echo
+echo "== baseline: parallel_scaling (reduced scale) =="
+"${BUILD}/bench/parallel_scaling" --owners=20000 --per-template=10 --reps=3 \
+  --dops=1,2,4,8 --json="${OUT}/BENCH_parallel_scaling.json"
 
 echo
 echo "baselines written to ${OUT}/"

@@ -65,6 +65,8 @@ void RatioWindow::Reset() {
   pending_num_ = 0;
   pending_den_ = 0;
   pending_count_ = 0;
+  lifetime_num_ = 0;
+  lifetime_den_ = 0;
 }
 
 }  // namespace ajr

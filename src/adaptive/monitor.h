@@ -48,8 +48,30 @@ class RatioWindow {
   void Record(double numerator, double denominator) {
     pending_num_ += numerator;
     pending_den_ += denominator;
+    lifetime_num_ += numerator;
+    lifetime_den_ += denominator;
     if (++pending_count_ >= batch_) Flush();
   }
+
+  /// Folds an externally accumulated batch of observations (a parallel
+  /// worker's window delta) into the window as ONE stored observation. The
+  /// ring then slides per merge instead of per raw observation — the merged
+  /// window spans the last ring-capacity folds, the parallel analogue of
+  /// the paper's history window w.
+  void RecordAggregate(double numerator, double denominator) {
+    Flush();
+    pending_num_ = numerator;
+    pending_den_ = denominator;
+    pending_count_ = batch_;  // a full batch: stored on the next Flush
+    lifetime_num_ += numerator;
+    lifetime_den_ += denominator;
+    Flush();
+  }
+
+  /// Lifetime sums over every Record()/RecordAggregate() since construction
+  /// (never evicted): the basis for worker-side window deltas.
+  double lifetime_num() const { return lifetime_num_; }
+  double lifetime_den() const { return lifetime_den_; }
 
   /// Number of raw observations currently represented in the window
   /// (stored observations times batch, plus the pending partial batch).
@@ -77,6 +99,8 @@ class RatioWindow {
   double pending_num_ = 0;
   double pending_den_ = 0;
   size_t pending_count_ = 0;
+  double lifetime_num_ = 0;
+  double lifetime_den_ = 0;
   // Fixed-size ring buffer of flushed batches: no allocation churn once the
   // buffer reaches capacity.
   std::vector<Observation> ring_;
@@ -121,11 +145,54 @@ class LegMonitor {
   bool has_data() const { return incoming_total_ > 0; }
   uint64_t incoming_total() const { return incoming_total_; }
 
+  /// Observations accumulated since the previous TakeDelta(): the unit a
+  /// parallel worker folds into the shared coordinator's merged monitor.
+  struct Delta {
+    double jc_num = 0, jc_den = 0;
+    double lp_num = 0, lp_den = 0;
+    double pc_num = 0, pc_den = 0;
+    uint64_t incoming = 0;
+    bool empty() const { return incoming == 0; }
+  };
+
+  /// Returns everything recorded since the last TakeDelta() and advances
+  /// the cursor (lifetime sums are never evicted, so deltas are exact even
+  /// after the sliding window forgot the observations).
+  Delta TakeDelta() {
+    Delta d;
+    d.jc_num = jc_.lifetime_num() - taken_.jc_num;
+    d.jc_den = jc_.lifetime_den() - taken_.jc_den;
+    d.lp_num = s_lp_.lifetime_num() - taken_.lp_num;
+    d.lp_den = s_lp_.lifetime_den() - taken_.lp_den;
+    d.pc_num = pc_.lifetime_num() - taken_.pc_num;
+    d.pc_den = pc_.lifetime_den() - taken_.pc_den;
+    d.incoming = incoming_total_ - taken_.incoming;
+    taken_.jc_num += d.jc_num;
+    taken_.jc_den += d.jc_den;
+    taken_.lp_num += d.lp_num;
+    taken_.lp_den += d.lp_den;
+    taken_.pc_num += d.pc_num;
+    taken_.pc_den += d.pc_den;
+    taken_.incoming += d.incoming;
+    return d;
+  }
+
+  /// Folds a worker's delta into this (coordinator-side) monitor: each
+  /// component lands as one aggregated window observation.
+  void Absorb(const Delta& d) {
+    if (d.empty()) return;
+    jc_.RecordAggregate(d.jc_num, d.jc_den);
+    s_lp_.RecordAggregate(d.lp_num, d.lp_den);
+    pc_.RecordAggregate(d.pc_num, d.pc_den);
+    incoming_total_ += d.incoming;
+  }
+
   void Reset() {
     jc_.Reset();
     s_lp_.Reset();
     pc_.Reset();
     incoming_total_ = 0;
+    taken_ = Delta();
   }
 
  private:
@@ -133,6 +200,7 @@ class LegMonitor {
   RatioWindow s_lp_;
   RatioWindow pc_;
   uint64_t incoming_total_ = 0;
+  Delta taken_;  ///< lifetime sums already handed out via TakeDelta
 };
 
 /// Per-leg monitor for the driving role: residual selectivity of the scan.
@@ -154,10 +222,38 @@ class DrivingMonitor {
   uint64_t scanned_total() const { return scanned_total_; }
   uint64_t produced_total() const { return produced_total_; }
 
+  /// See LegMonitor::Delta.
+  struct Delta {
+    double num = 0, den = 0;
+    uint64_t scanned = 0, produced = 0;
+    bool empty() const { return scanned == 0; }
+  };
+
+  Delta TakeDelta() {
+    Delta d;
+    d.num = s_lpr_.lifetime_num() - taken_.num;
+    d.den = s_lpr_.lifetime_den() - taken_.den;
+    d.scanned = scanned_total_ - taken_.scanned;
+    d.produced = produced_total_ - taken_.produced;
+    taken_.num += d.num;
+    taken_.den += d.den;
+    taken_.scanned += d.scanned;
+    taken_.produced += d.produced;
+    return d;
+  }
+
+  void Absorb(const Delta& d) {
+    if (d.empty()) return;
+    s_lpr_.RecordAggregate(d.num, d.den);
+    scanned_total_ += d.scanned;
+    produced_total_ += d.produced;
+  }
+
  private:
   RatioWindow s_lpr_;
   uint64_t scanned_total_ = 0;
   uint64_t produced_total_ = 0;
+  Delta taken_;
 };
 
 /// Sec 4.3.3 estimate selection for one leg's combined local selectivity
@@ -211,9 +307,34 @@ class EdgeMonitor {
 
   bool has_data() const { return sel_.denominator_sum() > 0; }
 
+  /// See LegMonitor::Delta.
+  struct Delta {
+    double matches = 0, pairs = 0;
+    uint64_t probes = 0;
+    bool empty() const { return probes == 0; }
+  };
+
+  Delta TakeDelta() {
+    Delta d;
+    d.matches = sel_.lifetime_num() - taken_.matches;
+    d.pairs = sel_.lifetime_den() - taken_.pairs;
+    d.probes = probes_ - taken_.probes;
+    taken_.matches += d.matches;
+    taken_.pairs += d.pairs;
+    taken_.probes += d.probes;
+    return d;
+  }
+
+  void Absorb(const Delta& d) {
+    if (d.empty()) return;
+    sel_.RecordAggregate(d.matches, d.pairs);
+    probes_ += d.probes;
+  }
+
  private:
   RatioWindow sel_;
   uint64_t probes_ = 0;
+  Delta taken_;
 };
 
 }  // namespace ajr

@@ -1,0 +1,239 @@
+// AdaptiveCoordinator: shared run-time reoptimization state for morsel-
+// parallel execution.
+//
+// In parallel mode the driving leg's scan is split into fixed-size morsels
+// handed out from a shared dispenser (the DrivingSource), and `dop` worker-
+// local pipeline clones run concurrently. Each worker keeps its own inner
+// cursors, probe caches, and sliding-window monitors; every check-frequency
+// morsels it folds its monitor *deltas* into the coordinator, which merges
+// them and runs the paper's decision procedures (CheckInnerReorder /
+// CheckDrivingSwitch) over the merged statistics — the same Eq 1/3/4
+// machinery the serial executor uses, fed with fleet-wide evidence.
+//
+// Decisions are published as epoch-tagged snapshots. Workers poll the epoch
+// (one atomic load) between driving rows — full-pipeline depleted states,
+// the paper's moments of symmetry (Sec 4.1) — and adopt the new order and
+// demotions there, so every reorder still happens only at a depleted state.
+//
+// A driving switch needs more care than an inner reorder: no in-flight
+// morsel of the old driving leg may be re-emitted under the new one. The
+// coordinator therefore drains the dispenser (state kDrainingSwitch): no
+// new morsels are handed out, every worker parks at a barrier inside
+// AcquireMorsel, and the last arrival installs the switch — it demotes the
+// old leg with a positional predicate at the dispenser's global high-water
+// mark (the position of the last entry ever handed out, which every
+// processed entry is at or before), promotes the new leg's scan, bumps the
+// epoch, and releases the barrier. Workers wake, adopt, and pull morsels
+// from the new driving leg. Because the high-water mark covers every
+// dispensed entry, no emitted tuple can be regenerated, and nothing behind
+// it is lost (Sec 4.2's duplicate prevention, lifted to the fleet).
+//
+// Thread safety: everything behind one mutex except the published epoch
+// (atomic, read lock-free on the worker hot path). The DrivingSource is
+// only ever called under the coordinator mutex, so it needs no locking of
+// its own.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "adaptive/monitor.h"
+#include "common/status.h"
+#include "optimize/planner.h"
+#include "storage/scan_position.h"
+
+namespace ajr {
+
+struct ExecStats;
+
+/// One batch of driving-scan entries handed to a worker. `positions` is
+/// parallel to `rids` and filled only when the orchestrator asked the
+/// source to record positions (observer-instrumented runs).
+struct ParallelMorsel {
+  std::vector<Rid> rids;
+  std::vector<ScanPosition> positions;
+};
+
+/// The coordinator's view of the shared driving scans: one resumable scan
+/// cursor per query table, created lazily at first promotion. Implemented
+/// by runtime::MorselDriver; abstract here so exec/ does not depend on
+/// runtime/. Every method is called under the coordinator mutex.
+class DrivingSource {
+ public:
+  virtual ~DrivingSource() = default;
+
+  /// Makes `table` the dispensing scan (creating its cursor on first
+  /// promotion; a re-promotion resumes the original cursor, which already
+  /// sits past every dispensed entry).
+  virtual Status Promote(size_t table) = 0;
+
+  /// Fills `morsel` with the next batch of entries from the promoted scan.
+  /// False when the scan is exhausted (morsels are never empty).
+  virtual bool Fill(ParallelMorsel* morsel) = 0;
+
+  /// Position of the last entry handed out since the current promotion;
+  /// nullopt when this promotion has dispensed nothing yet.
+  virtual std::optional<ScanPosition> high_water() const = 0;
+
+  /// Entries the table's full driving scan covers (exact once promoted,
+  /// 0 before — callers must check ever_promoted()).
+  virtual double total_entries(size_t table) const = 0;
+
+  /// Entries ever dispensed for `table`, cumulative across promotions.
+  virtual double dispensed_entries(size_t table) const = 0;
+
+  virtual bool ever_promoted(size_t table) const = 0;
+
+  /// Column index of the table's scan-order key (SIZE_MAX = RID order).
+  virtual size_t prefix_col(size_t table) const = 0;
+
+  /// Work units charged by the shared scans (merged into the final stats).
+  virtual uint64_t scan_work_units() const = 0;
+};
+
+/// Per-table demotion record published to workers. `seq` increments at
+/// every demotion of the table, so a worker applies each demotion exactly
+/// once (LegRt::demote_seq_seen).
+struct ParallelDemotion {
+  bool demoted = false;
+  uint64_t seq = 0;
+  ScanPosition prefix;
+  size_t prefix_col = SIZE_MAX;
+  double remaining_entries = 0;
+  double remaining_fraction = 1.0;
+};
+
+/// Epoch-tagged decision snapshot a worker adopts at a depleted state.
+struct ParallelWorkerSync {
+  uint64_t epoch = 0;
+  std::vector<size_t> order;
+  std::vector<ParallelDemotion> demotions;  ///< per query table
+};
+
+/// One worker's monitor deltas since its previous fold (see
+/// LegMonitor::TakeDelta).
+struct WorkerMonitorDeltas {
+  std::vector<LegMonitor::Delta> inner;       ///< per query table
+  std::vector<DrivingMonitor::Delta> driving; ///< per query table
+  std::vector<EdgeMonitor::Delta> edges;      ///< per query edge
+};
+
+class AdaptiveCoordinator {
+ public:
+  /// `plan` and `source` must outlive the coordinator. `fold_interval` is
+  /// the number of morsels a worker processes between folds (0 = the
+  /// options' check frequency c).
+  AdaptiveCoordinator(const PipelinePlan* plan, const AdaptiveOptions& options,
+                      DrivingSource* source, size_t fold_interval = 0);
+
+  /// Promotes the plan's initial driving leg. Call once before workers run.
+  Status Init();
+
+  /// Morsels between worker folds.
+  size_t fold_interval() const { return fold_interval_; }
+
+  /// Registers a worker into the barrier group and snapshots the current
+  /// decision state. False when execution already finished or aborted (the
+  /// worker should return immediately).
+  bool RegisterWorker(ParallelWorkerSync* sync);
+
+  enum class Acquire {
+    kMorsel,    ///< `morsel` was filled; process it
+    kFinished,  ///< the final driving scan is exhausted; stop cleanly
+    kAborted,   ///< another worker aborted; stop with abort_status()
+  };
+
+  /// Hands out the next morsel, parking at the drain barrier when a driving
+  /// switch is pending (the last arrival installs it) or the scan is
+  /// exhausted (the last arrival finishes the run). Blocks only while other
+  /// workers finish their in-flight morsels.
+  Acquire AcquireMorsel(ParallelMorsel* morsel);
+
+  /// The published decision epoch; workers compare against their adopted
+  /// epoch between driving rows. Lock-free.
+  uint64_t published_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshots the current decision state for adoption.
+  void GetSync(ParallelWorkerSync* sync) const;
+
+  /// Merges one worker's monitor deltas and, at the check cadence, runs the
+  /// decision procedures over the merged statistics. An inner reorder
+  /// publishes a new epoch immediately; a driving switch moves the
+  /// coordinator into the drain state (installed at the barrier).
+  void Fold(const WorkerMonitorDeltas& deltas);
+
+  /// Aborts execution (first status wins); wakes every parked worker. A
+  /// no-op once the run finished cleanly.
+  void Abort(Status status);
+
+  bool aborted() const;
+  Status abort_status() const;
+
+  /// Folds the coordinator-owned totals into the merged stats: check and
+  /// reorder counts, the final order, the event log, and the shared scans'
+  /// work units.
+  void FinishStats(ExecStats* stats) const;
+
+ private:
+  enum class State {
+    kRunning,         ///< dispensing morsels
+    kDrainingSwitch,  ///< switch decided; waiting for in-flight morsels
+    kDrainingEnd,     ///< scan exhausted; waiting for in-flight morsels
+    kDone,            ///< terminal: clean completion
+    kAbort,           ///< terminal: cancelled or failed
+  };
+
+  /// Builds the merged-statistics CostInputs, mirroring the serial
+  /// executor's BuildRuntimeCostInputs (demoted legs scaled to their
+  /// unprocessed remainder).
+  CostInputs BuildCostInputsLocked(uint64_t min_leg_samples) const;
+  void RunChecksLocked();
+  void InstallSwitchLocked();
+  void AbortLocked(Status status);
+  uint64_t MergedDrivingRowsLocked() const;
+
+  const PipelinePlan* plan_;
+  AdaptiveOptions options_;
+  DrivingSource* source_;
+  size_t fold_interval_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kRunning;
+  size_t registered_ = 0;
+  size_t waiting_ = 0;
+  uint64_t generation_ = 0;  ///< barrier generation
+  std::atomic<uint64_t> epoch_{0};
+
+  std::vector<size_t> order_;
+  std::vector<ParallelDemotion> demotions_;
+  std::optional<DrivingSwitchDecision> pending_switch_;
+
+  // Merged monitors (coordinator side of the fold).
+  std::vector<LegMonitor> inner_;
+  std::vector<DrivingMonitor> driving_;
+  std::vector<EdgeMonitor> edges_;
+  std::vector<double> index_heights_;
+
+  CheckBackoff backoff_;
+  uint64_t folds_ = 0;
+  uint64_t folds_since_check_ = 0;
+
+  uint64_t inner_checks_ = 0;
+  uint64_t inner_reorders_ = 0;
+  uint64_t driving_checks_ = 0;
+  uint64_t driving_switches_ = 0;
+  std::vector<std::string> events_;
+  Status abort_status_;
+};
+
+}  // namespace ajr

@@ -13,82 +13,6 @@
 
 namespace ajr {
 
-/// One prefilled probe: the key to look up, the RID of the row the key was
-/// read from (drain-time sanity check), and — once resolved — the probe's
-/// replayable outcome (see ProbeLegBatched).
-struct PipelineExecutor::BatchedProbe {
-  IndexKey key;  ///< string bytes borrow the source table's pool (stable)
-  Rid key_src_rid = 0;
-  std::vector<Rid> matches;
-  uint64_t fetched = 0;
-  uint64_t work_units = 0;
-};
-
-/// Per-leg runtime state.
-struct PipelineExecutor::LegRt {
-  const TableEntry* entry = nullptr;
-  /// Full local predicate — applied in the inner role, where the probe index
-  /// covers only the join predicate.
-  BoundPredicatePtr local_bound;
-  /// Residual local predicate for the driving role (conjuncts not absorbed
-  /// into the driving index's ranges).
-  BoundPredicatePtr driving_residual;
-  /// Column index on this table's side of each edge (SIZE_MAX = edge does
-  /// not touch this table).
-  std::vector<size_t> edge_col;
-  /// Tallest probe-index height (cost-model input).
-  double index_height = 3;
-
-  // Driving-scan state.
-  std::unique_ptr<ScanCursor> cursor;
-  double total_raw_entries = 0;  ///< entries the full driving scan covers
-  /// Processed prefix (positional predicate) once demoted; in the scan
-  /// order of `cursor`.
-  std::optional<ScanPosition> prefix;
-  /// Column index of the prefix's key (SIZE_MAX = RID order).
-  size_t prefix_col = SIZE_MAX;
-  /// Remaining entries/fraction behind `prefix`, frozen at demotion time —
-  /// the prefix only moves when the leg drives again, so caching keeps the
-  /// per-check cost free of B+-tree descents.
-  double cached_remaining_entries = 0;
-  double cached_remaining_fraction = 1.0;
-
-  // Monitors.
-  LegMonitor inner_monitor;
-  DrivingMonitor driving_monitor;
-
-  // Inner-role state for the current incoming row.
-  std::vector<Rid> matches;
-  size_t match_pos = 0;
-  bool loaded = false;
-  size_t probe_edge = SIZE_MAX;
-  std::vector<size_t> applicable_edges;  ///< edges to preceding tables
-  uint64_t incoming_since_check = 0;
-  /// Inner-check interval schedule (grows under back-off).
-  CheckBackoff check_backoff;
-
-  // Batched-probe state (single-edge indexed legs only; see ProbeLegBatched).
-  /// Prefilled probes for this leg's upcoming incoming rows; discarded at
-  /// every reorder touching this position, so a batch never outlives the
-  /// pipeline shape it was built for. Only [0, batch_len) is live —
-  /// entries beyond keep their buffers for reuse, so steady-state refills
-  /// allocate nothing.
-  std::vector<BatchedProbe> batch;
-  size_t batch_len = 0;
-  size_t batch_pos = 0;
-  /// Scratch for the fill-time key sort (reused across fills).
-  std::vector<uint32_t> batch_by_key;
-  /// Hint-carrying probe over the current probe index (rebuilt on change).
-  std::optional<HintedIndexProbe> hinted;
-  /// Memoized probe results for hot keys; lazily built, epoch-tagged so a
-  /// demotion's positional predicate retires every earlier entry.
-  std::unique_ptr<ProbeCache> cache;
-  uint32_t cache_epoch = 0;
-  /// Edge the cache's entries were probed through (SIZE_MAX = none yet);
-  /// a different edge means a different index, so the cache is cleared.
-  size_t cache_edge = SIZE_MAX;
-};
-
 namespace {
 
 // Sample floor for monitored selectivities in inner-reorder decisions (see
@@ -103,44 +27,6 @@ int CompareKeys(const IndexKey& a, const IndexKey& b) {
   }
   int c = a.str.compare(b.str);
   return c < 0 ? -1 : (c > 0 ? 1 : 0);
-}
-
-// Entries of `tree` within `range`.
-size_t CountRange(const BPlusTree& tree, const KeyRange& range) {
-  size_t hi = range.hi.has_value()
-                  ? (range.hi_inclusive ? tree.CountKeyLessEqual(*range.hi)
-                                        : tree.CountKeyLess(*range.hi))
-                  : tree.size();
-  size_t lo = range.lo.has_value()
-                  ? (range.lo_inclusive ? tree.CountKeyLess(*range.lo)
-                                        : tree.CountKeyLessEqual(*range.lo))
-                  : 0;
-  return hi > lo ? hi - lo : 0;
-}
-
-// Entries of `tree` within `ranges`, restricted to strictly after `pos`
-// (nullopt = no restriction).
-size_t CountRangesAfter(const BPlusTree& tree, const std::vector<KeyRange>& ranges,
-                        const std::optional<ScanPosition>& pos) {
-  size_t at_or_before_pos =
-      pos.has_value() ? tree.size() - tree.CountEntriesAfter(pos->AsIndexKey(), pos->rid)
-                      : 0;
-  size_t total = 0;
-  for (const auto& r : ranges) {
-    size_t in_range = CountRange(tree, r);
-    if (pos.has_value()) {
-      size_t lo = r.lo.has_value()
-                      ? (r.lo_inclusive ? tree.CountKeyLess(*r.lo)
-                                        : tree.CountKeyLessEqual(*r.lo))
-                      : 0;
-      // Entries in the range that are <= pos.
-      size_t processed =
-          at_or_before_pos > lo ? std::min(at_or_before_pos - lo, in_range) : 0;
-      in_range -= processed;
-    }
-    total += in_range;
-  }
-  return total;
 }
 
 }  // namespace
@@ -201,7 +87,7 @@ Status PipelineExecutor::CreateDrivingCursor(size_t t) {
     leg.cursor = std::make_unique<IndexScanCursor>(access.index->tree.get(),
                                                    access.ranges);
     leg.total_raw_entries = static_cast<double>(
-        CountRangesAfter(*access.index->tree, access.ranges, std::nullopt));
+        CountRangeEntriesAfter(*access.index->tree, access.ranges, std::nullopt));
     leg.prefix_col = access.index->column_idx;
   } else {
     leg.cursor = std::make_unique<TableScanCursor>(&leg.entry->table());
@@ -276,7 +162,7 @@ double PipelineExecutor::RemainingEntries(size_t t) const {
   }
   if (access.index != nullptr) {
     return static_cast<double>(
-        CountRangesAfter(*access.index->tree, access.ranges, pos));
+        CountRangeEntriesAfter(*access.index->tree, access.ranges, pos));
   }
   size_t total = leg.entry->table().num_rows();
   size_t done = pos.has_value() ? static_cast<size_t>(pos->rid) + 1 : 0;

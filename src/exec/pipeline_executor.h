@@ -27,14 +27,17 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/work_counter.h"
+#include "exec/probe_cache.h"
 #include "expr/evaluator.h"
 #include "optimize/planner.h"
 #include "storage/cursors.h"
 
 namespace ajr {
 
+class AdaptiveCoordinator;
 class ExecObserver;
 struct FaultInjection;
+struct ParallelWorkerSync;
 
 /// Counters reported by one execution.
 struct ExecStats {
@@ -54,6 +57,12 @@ struct ExecStats {
   uint64_t probe_batches = 0;
   uint64_t probe_batch_keys = 0;
   uint64_t probe_descents_saved = 0;
+  /// Morsel-parallel observability (all zero in serial runs): workers that
+  /// processed at least one morsel, morsels processed, and monitor folds
+  /// into the shared AdaptiveCoordinator.
+  uint64_t parallel_workers = 0;
+  uint64_t morsels = 0;
+  uint64_t monitor_folds = 0;
   /// Total join-order changes (inner reorders + driving switches) — the
   /// quantity Fig 10 plots against the history window size.
   uint64_t order_switches() const { return inner_reorders + driving_switches; }
@@ -63,6 +72,11 @@ struct ExecStats {
   /// Human-readable adaptation event log (one line per reorder/switch):
   /// populated only when events occur, so it costs nothing on the hot path.
   std::vector<std::string> events;
+
+  /// Accumulates a parallel worker's additive counters into this object.
+  /// Orders, events, check/reorder counts, and wall time are owned by the
+  /// coordinator/orchestrator and are NOT merged here.
+  void MergeFrom(const ExecStats& worker);
 };
 
 /// Receives each projected output row.
@@ -111,9 +125,97 @@ class PipelineExecutor {
   /// before Execute().
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Morsel-parallel worker mode (see exec/adaptive_coordinator.h): driving
+  /// rows come from the coordinator's shared morsel source instead of a
+  /// private cursor, reorder decisions come from the coordinator's merged
+  /// monitors (adopted at driving-row boundaries — full-pipeline depleted
+  /// states), and worker-local monitor deltas are folded back periodically.
+  /// Single-use, like Execute(). Called by ParallelPipelineExecutor
+  /// (runtime/parallel_executor.h), not by user code.
+  StatusOr<ExecStats> ExecuteWorker(AdaptiveCoordinator* coordinator,
+                                    const RowSink& sink);
+
  private:
-  struct LegRt;
-  struct BatchedProbe;
+  friend class AdaptiveCoordinator;
+
+  /// One prefilled probe: the key to look up, the RID of the row the key
+  /// was read from (drain-time sanity check), and — once resolved — the
+  /// probe's replayable outcome (see ProbeLegBatched).
+  struct BatchedProbe {
+    IndexKey key;  ///< string bytes borrow the source table's pool (stable)
+    Rid key_src_rid = 0;
+    std::vector<Rid> matches;
+    uint64_t fetched = 0;
+    uint64_t work_units = 0;
+  };
+
+  /// Per-leg runtime state.
+  struct LegRt {
+    const TableEntry* entry = nullptr;
+    /// Full local predicate — applied in the inner role, where the probe
+    /// index covers only the join predicate.
+    BoundPredicatePtr local_bound;
+    /// Residual local predicate for the driving role (conjuncts not
+    /// absorbed into the driving index's ranges).
+    BoundPredicatePtr driving_residual;
+    /// Column index on this table's side of each edge (SIZE_MAX = edge
+    /// does not touch this table).
+    std::vector<size_t> edge_col;
+    /// Tallest probe-index height (cost-model input).
+    double index_height = 3;
+
+    // Driving-scan state.
+    std::unique_ptr<ScanCursor> cursor;
+    double total_raw_entries = 0;  ///< entries the full driving scan covers
+    /// Processed prefix (positional predicate) once demoted; in the scan
+    /// order of `cursor`.
+    std::optional<ScanPosition> prefix;
+    /// Column index of the prefix's key (SIZE_MAX = RID order).
+    size_t prefix_col = SIZE_MAX;
+    /// Remaining entries/fraction behind `prefix`, frozen at demotion time —
+    /// the prefix only moves when the leg drives again, so caching keeps
+    /// the per-check cost free of B+-tree descents.
+    double cached_remaining_entries = 0;
+    double cached_remaining_fraction = 1.0;
+    /// Latest coordinator demotion sequence number applied to this leg
+    /// (worker mode only; see ParallelDemotion::seq).
+    uint64_t demote_seq_seen = 0;
+
+    // Monitors.
+    LegMonitor inner_monitor;
+    DrivingMonitor driving_monitor;
+
+    // Inner-role state for the current incoming row.
+    std::vector<Rid> matches;
+    size_t match_pos = 0;
+    bool loaded = false;
+    size_t probe_edge = SIZE_MAX;
+    std::vector<size_t> applicable_edges;  ///< edges to preceding tables
+    uint64_t incoming_since_check = 0;
+    /// Inner-check interval schedule (grows under back-off).
+    CheckBackoff check_backoff;
+
+    // Batched-probe state (single-edge indexed legs; see ProbeLegBatched).
+    /// Prefilled probes for this leg's upcoming incoming rows; discarded at
+    /// every reorder touching this position, so a batch never outlives the
+    /// pipeline shape it was built for. Only [0, batch_len) is live —
+    /// entries beyond keep their buffers for reuse, so steady-state refills
+    /// allocate nothing.
+    std::vector<BatchedProbe> batch;
+    size_t batch_len = 0;
+    size_t batch_pos = 0;
+    /// Scratch for the fill-time key sort (reused across fills).
+    std::vector<uint32_t> batch_by_key;
+    /// Hint-carrying probe over the current probe index (rebuilt on change).
+    std::optional<HintedIndexProbe> hinted;
+    /// Memoized probe results for hot keys; lazily built, epoch-tagged so a
+    /// demotion's positional predicate retires every earlier entry.
+    std::unique_ptr<ProbeCache> cache;
+    uint32_t cache_epoch = 0;
+    /// Edge the cache's entries were probed through (SIZE_MAX = none yet);
+    /// a different edge means a different index, so the cache is cleared.
+    size_t cache_edge = SIZE_MAX;
+  };
 
   Status InitLegs();
   Status CreateDrivingCursor(size_t t);
@@ -141,6 +243,13 @@ class PipelineExecutor {
   void InnerCheck(size_t level);
   void Emit(const RowSink& sink);
   void EmitOnce(const RowSink& sink);
+  /// Worker mode: applies a coordinator decision snapshot (new demotions,
+  /// then the published order) at a full-pipeline depleted state, and
+  /// reports the change through the observer once this worker has produced
+  /// rows (so invariant I4's depleted-state precondition holds).
+  void AdoptParallelSync(const ParallelWorkerSync& sync);
+  /// Worker mode: folds this worker's monitor deltas into the coordinator.
+  void FoldMonitors(AdaptiveCoordinator* coordinator);
 
   const PipelinePlan* plan_;
   AdaptiveOptions options_;
@@ -163,6 +272,8 @@ class PipelineExecutor {
   MetricsRegistry* metrics_ = nullptr;
   uint64_t cancel_polls_ = 0;
   bool executed_ = false;
+  /// Worker mode: the coordinator epoch this worker last adopted.
+  uint64_t parallel_epoch_ = 0;
   ExecStats stats_;
 };
 

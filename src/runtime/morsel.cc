@@ -1,0 +1,81 @@
+#include "runtime/morsel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ajr {
+
+MorselDriver::MorselDriver(const PipelinePlan* plan, size_t morsel_size,
+                           bool record_positions)
+    : plan_(plan),
+      morsel_size_(std::max<size_t>(1, morsel_size)),
+      record_positions_(record_positions),
+      legs_(plan->query.tables.size()) {}
+
+Status MorselDriver::Promote(size_t table) {
+  LegScan& leg = legs_[table];
+  if (leg.cursor == nullptr) {
+    // Mirrors PipelineExecutor::CreateDrivingCursor: indexed legs scan in
+    // (key, RID) order over the plan's ranges, others in RID order.
+    const DrivingAccess& access = plan_->access[table].driving;
+    if (access.index != nullptr) {
+      leg.cursor = std::make_unique<IndexScanCursor>(access.index->tree.get(),
+                                                     access.ranges);
+      leg.total_raw = static_cast<double>(CountRangeEntriesAfter(
+          *access.index->tree, access.ranges, std::nullopt));
+      leg.prefix_col = access.index->column_idx;
+    } else {
+      const HeapTable* table_ptr = &plan_->entries[table]->table();
+      leg.cursor = std::make_unique<TableScanCursor>(table_ptr);
+      leg.total_raw = static_cast<double>(table_ptr->num_rows());
+      leg.prefix_col = SIZE_MAX;
+    }
+  }
+  // A re-promotion resumes the original cursor, which already sits past
+  // every previously dispensed entry (Sec 4.2's kept cursor).
+  current_ = table;
+  dispensed_this_promotion_ = 0;
+  return Status::OK();
+}
+
+bool MorselDriver::Fill(ParallelMorsel* morsel) {
+  assert(current_ != SIZE_MAX && "Fill before first Promote");
+  LegScan& leg = legs_[current_];
+  morsel->rids.clear();
+  morsel->positions.clear();
+  Rid rid;
+  while (morsel->rids.size() < morsel_size_ && leg.cursor->Next(&wc_, &rid)) {
+    morsel->rids.push_back(rid);
+    if (record_positions_) {
+      morsel->positions.push_back(leg.cursor->CurrentPosition());
+    }
+    leg.dispensed += 1;
+    ++dispensed_this_promotion_;
+  }
+  return !morsel->rids.empty();
+}
+
+std::optional<ScanPosition> MorselDriver::high_water() const {
+  if (current_ == SIZE_MAX || dispensed_this_promotion_ == 0) {
+    return std::nullopt;
+  }
+  return legs_[current_].cursor->CurrentPosition();
+}
+
+double MorselDriver::total_entries(size_t table) const {
+  return legs_[table].total_raw;
+}
+
+double MorselDriver::dispensed_entries(size_t table) const {
+  return legs_[table].dispensed;
+}
+
+bool MorselDriver::ever_promoted(size_t table) const {
+  return legs_[table].cursor != nullptr;
+}
+
+size_t MorselDriver::prefix_col(size_t table) const {
+  return legs_[table].prefix_col;
+}
+
+}  // namespace ajr

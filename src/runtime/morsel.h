@@ -1,0 +1,62 @@
+// MorselDriver: the shared driving-scan dispenser of morsel-parallel
+// execution (runtime side of exec/adaptive_coordinator.h's DrivingSource).
+//
+// It owns one resumable ScanCursor per query table, created lazily at first
+// promotion — the same cursors the serial executor drives with, so morsel
+// order, positional predicates, and re-promotion semantics are identical.
+// Fill() batches the promoted cursor's RIDs into fixed-size morsels; the
+// cursor's position after the last dispensed entry is the fleet-wide
+// high-water mark a demotion's positional predicate is built from.
+//
+// Thread safety: none of its own — every method is called under the
+// AdaptiveCoordinator's mutex (the DrivingSource contract).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/work_counter.h"
+#include "exec/adaptive_coordinator.h"
+#include "optimize/planner.h"
+#include "storage/cursors.h"
+
+namespace ajr {
+
+class MorselDriver final : public DrivingSource {
+ public:
+  /// `plan` must outlive the driver. `record_positions` makes Fill() record
+  /// each entry's scan position alongside its RID (observer-instrumented
+  /// runs only — it materializes one ScanPosition per entry).
+  MorselDriver(const PipelinePlan* plan, size_t morsel_size,
+               bool record_positions);
+
+  Status Promote(size_t table) override;
+  bool Fill(ParallelMorsel* morsel) override;
+  std::optional<ScanPosition> high_water() const override;
+  double total_entries(size_t table) const override;
+  double dispensed_entries(size_t table) const override;
+  bool ever_promoted(size_t table) const override;
+  size_t prefix_col(size_t table) const override;
+  uint64_t scan_work_units() const override { return wc_.total(); }
+
+ private:
+  struct LegScan {
+    std::unique_ptr<ScanCursor> cursor;
+    double total_raw = 0;      ///< entries the full driving scan covers
+    double dispensed = 0;      ///< entries ever handed out, all promotions
+    size_t prefix_col = SIZE_MAX;
+  };
+
+  const PipelinePlan* plan_;
+  size_t morsel_size_;
+  bool record_positions_;
+  std::vector<LegScan> legs_;
+  size_t current_ = SIZE_MAX;
+  /// Entries dispensed since the current promotion (high-water validity).
+  uint64_t dispensed_this_promotion_ = 0;
+  WorkCounter wc_;
+};
+
+}  // namespace ajr

@@ -1,7 +1,10 @@
 #include "runtime/query_engine.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
+
+#include "runtime/parallel_executor.h"
 
 namespace ajr {
 
@@ -95,7 +98,14 @@ void QueryEngine::RunQuery(const std::shared_ptr<QuerySession>& session,
   }
   const std::unique_ptr<PipelinePlan> plan = std::move(plan_or).value();
 
-  PipelineExecutor executor(plan.get(), spec.adaptive);
+  // Intra-query parallelism: extra workers are leased from the same pool
+  // this query runs on (a busy pool degrades the dop instead of blocking),
+  // so the cap is the pool size, not pool size + 1 for the caller's thread.
+  ParallelExecOptions parallel;
+  parallel.dop = std::min(std::max<size_t>(1, spec.dop), pool_.num_threads());
+  parallel.morsel_size = spec.morsel_size;
+  parallel.pool = &pool_;
+  ParallelPipelineExecutor executor(plan.get(), spec.adaptive, parallel);
   executor.set_cancellation_token(&session->token);
   executor.set_metrics(metrics_);
 

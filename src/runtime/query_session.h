@@ -36,6 +36,13 @@ struct QuerySpec {
   JoinQuery query;
   /// Run-time adaptation knobs for this query.
   AdaptiveOptions adaptive;
+  /// Intra-query degree of parallelism: worker pipelines over a shared
+  /// morsel dispenser (see runtime/parallel_executor.h). <= 1 runs the
+  /// serial executor unchanged; larger values are capped at the engine's
+  /// worker-pool size.
+  size_t dop = 1;
+  /// Driving-scan entries per morsel in parallel runs.
+  size_t morsel_size = 0;  ///< 0 = auto-size (see ParallelExecOptions)
   /// Relative deadline, measured from Submit(); queue wait counts against
   /// it. nullopt = no deadline.
   std::optional<std::chrono::milliseconds> timeout;

@@ -1,0 +1,40 @@
+#include "runtime/worker_lease.h"
+
+namespace ajr {
+
+WorkerLease::WorkerLease(ThreadPool* pool, size_t count,
+                         std::function<void(size_t)> fn)
+    : shared_(std::make_shared<Shared>()) {
+  shared_->fn = std::move(fn);
+  for (size_t i = 0; i < count; ++i) {
+    std::shared_ptr<Shared> shared = shared_;
+    bool submitted = pool->Submit([shared, i] {
+      {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        if (shared->revoked) return;
+        ++shared->started;
+      }
+      shared->fn(i);
+      std::lock_guard<std::mutex> lock(shared->mu);
+      ++shared->finished;
+      shared->cv.notify_all();
+    });
+    // A shut-down pool drops the task; it counts as never started.
+    (void)submitted;
+  }
+}
+
+void WorkerLease::Finish() {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->revoked = true;
+  shared_->cv.wait(lock, [this] {
+    return shared_->started == shared_->finished;
+  });
+}
+
+size_t WorkerLease::started() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->started;
+}
+
+}  // namespace ajr

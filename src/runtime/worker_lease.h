@@ -1,0 +1,58 @@
+// WorkerLease: borrow N thread-pool slots for the duration of one parallel
+// operation, without deadlocking on an undersized or busy pool.
+//
+// The lease submits N tasks; each task first checks (under the lease mutex)
+// whether the lease was revoked, and only then runs the user function. The
+// caller does its own share of the work on its own thread, then calls
+// Finish(): tasks that never started are revoked — they will wake up later,
+// see the flag, and return without touching the (by then destroyed) work —
+// while tasks already running are waited for. A pool with fewer free
+// threads than requested therefore degrades the degree of parallelism
+// instead of blocking the operation.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace ajr {
+
+class WorkerLease {
+ public:
+  /// Submits `count` tasks to `pool`; task i invokes `fn(i)`. `fn` is
+  /// copied into shared state that outlives the lease object, but the
+  /// caller must keep everything `fn` references alive until Finish()
+  /// returns (revoked tasks never invoke `fn`).
+  WorkerLease(ThreadPool* pool, size_t count, std::function<void(size_t)> fn);
+
+  /// Revokes tasks that have not started and waits for the ones that have.
+  /// Idempotent. After it returns no task will touch `fn` again.
+  void Finish();
+
+  ~WorkerLease() { Finish(); }
+
+  WorkerLease(const WorkerLease&) = delete;
+  WorkerLease& operator=(const WorkerLease&) = delete;
+
+  /// Tasks that actually began running fn (stable only after Finish()).
+  size_t started() const;
+
+ private:
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool revoked = false;
+    size_t started = 0;
+    size_t finished = 0;
+    std::function<void(size_t)> fn;
+  };
+
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace ajr

@@ -1,10 +1,12 @@
 #include "testing/oracle.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/string_util.h"
 #include "exec/reference_executor.h"
 #include "optimize/planner.h"
+#include "runtime/parallel_executor.h"
 
 namespace ajr {
 namespace testing {
@@ -87,6 +89,34 @@ std::optional<std::string> WorkStatsDiff(const ExecStats& a, const ExecStats& b)
   return std::nullopt;
 }
 
+// Detail string for a result-multiset mismatch, or nullopt when `rows`
+// (sorted in place) equals `expected` (already sorted).
+std::optional<std::string> CompareSortedRows(const std::vector<Row>& expected,
+                                             std::vector<Row>* rows) {
+  SortRows(rows);
+  if (*rows == expected) return std::nullopt;
+  std::string detail = StrCat("reference rows=", expected.size(),
+                              " adaptive rows=", rows->size(), "\n");
+  const size_t n = std::min(rows->size(), expected.size());
+  size_t diff = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (!((*rows)[i] == expected[i])) {
+      diff = i;
+      break;
+    }
+  }
+  if (diff < n) {
+    detail += StrCat("first difference at sorted row ", diff,
+                     ": reference=", RowToString(expected[diff]),
+                     " adaptive=", RowToString((*rows)[diff]), "\n");
+  } else if (rows->size() != expected.size()) {
+    const std::vector<Row>& longer = rows->size() > n ? *rows : expected;
+    detail += StrCat(rows->size() > n ? "extra" : "missing",
+                     " row: ", RowToString(longer[n]), "\n");
+  }
+  return detail;
+}
+
 }  // namespace
 
 AdaptiveOptions AggressiveAdaptiveOptions() {
@@ -133,6 +163,14 @@ std::vector<DifferentialConfig> DefaultConfigs() {
        StatsTier::kBase, "aggressive"},
       {"aggressive-base/memo-only", probes(aggressive, 1, kCache),
        StatsTier::kBase, "aggressive"},
+      // Morsel-parallel axis: the same invariants must hold per worker
+      // pipeline, and the merged result multiset must still equal the
+      // reference, for every dop. Tiny morsels force frequent dispenser
+      // round-trips, monitor folds, and (for the aggressive config) drain
+      // barriers under constant switching.
+      {"static/dop2", off, StatsTier::kBase, "", 2, 5},
+      {"paper-default/dop2", AdaptiveOptions{}, StatsTier::kMinimal, "", 2, 5},
+      {"aggressive-base/dop4", aggressive, StatsTier::kBase, "", 4, 3},
   };
 }
 
@@ -264,6 +302,66 @@ StatusOr<std::optional<FailureReport>> RunDifferential(
       return std::optional<FailureReport>(std::move(failure));
     }
 
+    if (config.dop > 1) {
+      // Morsel-parallel run: one InvariantChecker per worker (each worker
+      // is a full serial pipeline over its share of driving rows, so I1-I5
+      // are per-worker properties), a cross-worker duplicate check, and
+      // the usual result comparison on the merged row multiset.
+      ParallelExecOptions popts;
+      popts.dop = config.dop;
+      popts.morsel_size = config.morsel_size;
+      ParallelPipelineExecutor exec(plan->get(), config.adaptive, popts);
+      std::vector<std::unique_ptr<InvariantChecker>> checkers;
+      if (options.check_invariants) {
+        std::vector<ExecObserver*> observers;
+        for (size_t w = 0; w < config.dop; ++w) {
+          checkers.push_back(std::make_unique<InvariantChecker>(cardinalities));
+          observers.push_back(checkers.back().get());
+        }
+        exec.set_worker_observers(std::move(observers));
+      }
+      if (options.faults != nullptr) exec.set_fault_injection(options.faults);
+
+      std::vector<Row> rows;
+      auto stats = exec.Execute([&rows](const Row& r) { rows.push_back(r); });
+      if (!stats.ok()) {
+        failure.kind = "error";
+        failure.detail = StrCat("executor: ", stats.status().ToString());
+        return std::optional<FailureReport>(std::move(failure));
+      }
+      if (options.check_invariants) {
+        uint64_t emitted_total = 0;
+        std::unordered_set<std::string> all_keys;
+        for (size_t w = 0; w < checkers.size(); ++w) {
+          checkers[w]->FinalCheck(exec.worker_stats()[w]);
+          if (!checkers[w]->ok()) {
+            failure.kind = "invariant";
+            for (const std::string& v : checkers[w]->violations()) {
+              failure.detail += StrCat("worker ", w, ": ", v, "\n");
+            }
+            return std::optional<FailureReport>(std::move(failure));
+          }
+          emitted_total += checkers[w]->emitted();
+          all_keys.insert(checkers[w]->emitted_keys().begin(),
+                          checkers[w]->emitted_keys().end());
+        }
+        if (all_keys.size() != emitted_total) {
+          failure.kind = "invariant";
+          failure.detail =
+              StrCat("I1: ", emitted_total, " emits across workers but only ",
+                     all_keys.size(),
+                     " distinct RID tuples (cross-worker duplicate)\n");
+          return std::optional<FailureReport>(std::move(failure));
+        }
+      }
+      if (std::optional<std::string> diff = CompareSortedRows(expected, &rows)) {
+        failure.kind = "result-mismatch";
+        failure.detail = std::move(*diff);
+        return std::optional<FailureReport>(std::move(failure));
+      }
+      continue;
+    }
+
     PipelineExecutor exec(plan->get(), config.adaptive);
     InvariantChecker checker(cardinalities);
     if (options.check_invariants) exec.set_observer(&checker);
@@ -304,28 +402,9 @@ StatusOr<std::optional<FailureReport>> RunDifferential(
       }
     }
 
-    SortRows(&rows);
-    if (rows != expected) {
+    if (std::optional<std::string> diff = CompareSortedRows(expected, &rows)) {
       failure.kind = "result-mismatch";
-      failure.detail = StrCat("reference rows=", expected.size(),
-                              " adaptive rows=", rows.size(), "\n");
-      const size_t n = std::min(rows.size(), expected.size());
-      size_t diff = n;
-      for (size_t i = 0; i < n; ++i) {
-        if (!(rows[i] == expected[i])) {
-          diff = i;
-          break;
-        }
-      }
-      if (diff < n) {
-        failure.detail += StrCat("first difference at sorted row ", diff,
-                                 ": reference=", RowToString(expected[diff]),
-                                 " adaptive=", RowToString(rows[diff]), "\n");
-      } else if (rows.size() != expected.size()) {
-        const std::vector<Row>& longer = rows.size() > n ? rows : expected;
-        failure.detail += StrCat(rows.size() > n ? "extra" : "missing",
-                                 " row: ", RowToString(longer[n]), "\n");
-      }
+      failure.detail = std::move(*diff);
       return std::optional<FailureReport>(std::move(failure));
     }
   }

@@ -58,6 +58,16 @@ struct DifferentialConfig {
   /// Configs in one class must share a stats_tier (different tiers plan
   /// differently on purpose).
   std::string work_class;
+  /// Degree of parallelism: > 1 runs the morsel-parallel executor with one
+  /// InvariantChecker per worker (I1-I5 hold per worker pipeline) plus a
+  /// cross-worker duplicate check and the usual result-multiset comparison
+  /// against the reference. Parallel configs cannot join a work_class:
+  /// morsel interleaving makes per-run work timing-dependent.
+  size_t dop = 1;
+  /// Driving-scan entries per morsel for dop > 1. Deliberately tiny so a
+  /// small fuzz query still crosses many morsel boundaries, folds, and
+  /// drain barriers.
+  size_t morsel_size = 5;
 };
 
 /// The default configuration spread: static plan, paper defaults, and an
@@ -122,6 +132,12 @@ class InvariantChecker : public ExecObserver {
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }
   uint64_t emitted() const { return emitted_count_; }
+  /// Distinct emitted RID tuples (serialized); the parallel harness unions
+  /// these across workers to catch cross-worker duplicates, which no
+  /// single worker's I1 can see.
+  const std::unordered_set<std::string>& emitted_keys() const {
+    return emitted_;
+  }
 
  private:
   void Violation(std::string message);

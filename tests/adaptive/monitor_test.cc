@@ -108,6 +108,52 @@ TEST(EdgeMonitorTest, SelectivityWithMinPairs) {
   EXPECT_TRUE(m.has_data());
 }
 
+TEST(MonitorMergeTest, TakeDeltaAbsorbMatchesDirectRecording) {
+  // Two workers record disjoint halves of a stream; folding their deltas
+  // into a merged monitor must reproduce the single-monitor lifetime
+  // ratios (the parallel coordinator's statistics contract). Estimates use
+  // windowed observations, so compare against a monitor that saw the same
+  // aggregates, not the raw per-row stream.
+  LegMonitor w1(100, AveragingMode::kSimple);
+  LegMonitor w2(100, AveragingMode::kSimple);
+  LegMonitor merged(100, AveragingMode::kSimple);
+  w1.RecordIncomingRow(4, 2, 100);
+  w1.RecordIncomingRow(2, 1, 60);
+  w2.RecordIncomingRow(0, 0, 20);
+  w2.RecordIncomingRow(6, 3, 40);
+  merged.Absorb(w1.TakeDelta());
+  merged.Absorb(w2.TakeDelta());
+  EXPECT_EQ(merged.incoming_total(), 4u);
+  EXPECT_DOUBLE_EQ(merged.Jc(0), 6.0 / 4);          // (2+1+0+3)/4
+  EXPECT_DOUBLE_EQ(merged.Pc(0), 220.0 / 4);        // (100+60+20+40)/4
+  // Deltas are exact increments: a second TakeDelta after no new rows is
+  // empty and absorbing it changes nothing.
+  LegMonitor::Delta empty = w1.TakeDelta();
+  EXPECT_DOUBLE_EQ(empty.jc_den, 0.0);
+  merged.Absorb(empty);
+  EXPECT_EQ(merged.incoming_total(), 4u);
+  // New observations after a TakeDelta are picked up by the next one.
+  w1.RecordIncomingRow(2, 2, 10);
+  merged.Absorb(w1.TakeDelta());
+  EXPECT_EQ(merged.incoming_total(), 5u);
+  EXPECT_DOUBLE_EQ(merged.Jc(0), 8.0 / 5);
+
+  DrivingMonitor d1(100, AveragingMode::kSimple);
+  DrivingMonitor dm(100, AveragingMode::kSimple);
+  for (int i = 0; i < 10; ++i) d1.RecordScannedEntry(i % 4 == 0);
+  dm.Absorb(d1.TakeDelta());
+  EXPECT_EQ(dm.scanned_total(), 10u);
+  EXPECT_EQ(dm.produced_total(), 3u);
+  EXPECT_DOUBLE_EQ(dm.ResidualSel(0), 0.3);
+
+  EdgeMonitor e1(100, AveragingMode::kSimple);
+  EdgeMonitor em(100, AveragingMode::kSimple);
+  for (int i = 0; i < 101; ++i) e1.Record(6, 1);
+  em.Absorb(e1.TakeDelta());
+  EXPECT_TRUE(em.has_data());
+  EXPECT_NEAR(em.Selectivity(0.01, 8), 1.0 / 6, 0.01);
+}
+
 class WindowSizeSweep : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(WindowSizeSweep, CapacityIsRespected) {

@@ -142,6 +142,34 @@ TEST_F(QueryEngineTest, CollectRowsReturnsTheResultSet) {
   EXPECT_EQ(result.stats.rows_out, expected);
 }
 
+TEST_F(QueryEngineTest, MorselParallelQueriesMatchSerialRowCounts) {
+  DmvQueryGenerator gen(catalog_);
+  auto queries = gen.GenerateMix(1);  // one variant per template
+  ASSERT_TRUE(queries.ok()) << queries.status();
+
+  MetricsRegistry metrics;
+  QueryEngineOptions options;
+  options.num_workers = 4;
+  options.metrics = &metrics;
+  QueryEngine engine(catalog_, options);
+  for (const JoinQuery& q : *queries) {
+    uint64_t expected = SerialRowCount(q);
+    QuerySpec spec;
+    spec.query = q;
+    spec.dop = 4;  // intra-query parallelism, capped at the pool size
+    spec.morsel_size = 16;
+    QueryHandle h = MustSubmit(&engine, std::move(spec));
+    const QueryResult& result = h.Wait();
+    ASSERT_TRUE(result.status.ok()) << h.name() << ": " << result.status;
+    EXPECT_EQ(result.stats.rows_out, expected) << h.name();
+  }
+  engine.Shutdown();
+
+  EXPECT_EQ(metrics.FindCounter("exec.parallel_queries")->value(),
+            queries->size());
+  EXPECT_GT(metrics.FindCounter("exec.parallel_morsels")->value(), 0u);
+}
+
 TEST_F(QueryEngineTest, CancelStopsARunningQueryMidFlight) {
   QueryEngine engine(catalog_, Workers(1));
   Gate started, cancel_issued;

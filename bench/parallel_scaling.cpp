@@ -98,7 +98,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::vector<JoinQuery>& queries = *queries_or;
-  const AdaptiveOptions adaptive = Workbench::SwitchBoth();
+  AdaptiveOptions adaptive = Workbench::SwitchBoth();
+  adaptive.policy = flags.common.policy;
 
   // Plan once per query; plans are shared across dops and reps.
   std::vector<std::unique_ptr<PipelinePlan>> plans;
@@ -229,14 +230,18 @@ int main(int argc, char** argv) {
     report.AddMetric("row_mismatches" + suffix, static_cast<double>(best.mismatches));
   }
   report.AddMetric("dop1_work_unit_identity", dop1_wu_identical ? 1.0 : 0.0);
+  // Machine-readable twin of the WARNING below: bench_delta.py skips dop>1
+  // wall-time comparisons when either side carries this marker.
+  report.AddMetric("speedups_not_meaningful",
+                   std::thread::hardware_concurrency() <= 1 ? 1.0 : 0.0);
   if (!dop1_wu_identical) exit_code = 1;
 
   std::printf("\n  dop=1 work units %s the serial executor's (%llu)\n",
               dop1_wu_identical ? "match" : "DO NOT match",
               static_cast<unsigned long long>(serial_wu));
   if (std::thread::hardware_concurrency() <= 1) {
-    std::printf("  note: 1 hardware thread — wall-time speedups are not "
-                "expected here; work-unit parity is the meaningful check\n");
+    std::printf("WARNING: hardware_concurrency=1, speedups not meaningful\n");
+    std::printf("  work-unit parity is the meaningful check on this machine\n");
   }
   return exit_code;
 }

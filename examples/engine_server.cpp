@@ -1,6 +1,6 @@
 // Engine server demo: the concurrent query runtime end to end.
 //
-//   $ ./build/examples/engine_server [--dop=N]
+//   $ ./build/examples/engine_server [--dop=N] [--policy=rank|regret|static]
 //
 // Builds a small DMV database, starts a QueryEngine with four workers, and
 // plays a short serving scenario: a burst of template queries answered
@@ -16,7 +16,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
+#include "adaptive/policy.h"
 #include "common/metrics.h"
 #include "runtime/query_engine.h"
 #include "workload/dmv.h"
@@ -26,7 +28,7 @@ using namespace ajr;
 
 namespace {
 
-Status Run(size_t dop) {
+Status Run(size_t dop, PolicyKind policy) {
   // 1. Build phase: load the catalog before serving (the engine's
   //    thread-safety contract: no catalog writes while queries run).
   std::printf("loading DMV data set...\n");
@@ -45,14 +47,15 @@ Status Run(size_t dop) {
 
   // 3. A burst of concurrent queries: two instances of each template.
   std::printf("serving a burst of 10 template queries on %zu workers"
-              " (intra-query dop=%zu)...\n",
-              engine.num_workers(), dop);
+              " (intra-query dop=%zu, policy=%s)...\n",
+              engine.num_workers(), dop, PolicyKindName(policy));
   std::vector<QueryHandle> burst;
   for (int template_id = 1; template_id <= kNumFourTableTemplates; ++template_id) {
     for (size_t variant = 0; variant < 2; ++variant) {
       AJR_ASSIGN_OR_RETURN(JoinQuery q, gen.Generate(template_id, variant));
       QuerySpec spec;
       spec.query = std::move(q);
+      spec.adaptive.policy = policy;
       spec.dop = dop;
       AJR_ASSIGN_OR_RETURN(QueryHandle h, engine.Submit(std::move(spec)));
       burst.push_back(std::move(h));
@@ -70,6 +73,7 @@ Status Run(size_t dop) {
   AJR_ASSIGN_OR_RETURN(JoinQuery cancel_me, gen.Generate(3, 7));
   QuerySpec cancel_spec;
   cancel_spec.query = std::move(cancel_me);
+  cancel_spec.adaptive.policy = policy;
   AJR_ASSIGN_OR_RETURN(QueryHandle cancelled, engine.Submit(std::move(cancel_spec)));
   cancelled.Cancel();
   std::printf("cancelled query  -> %s\n",
@@ -80,6 +84,7 @@ Status Run(size_t dop) {
   AJR_ASSIGN_OR_RETURN(JoinQuery slow, gen.Generate(1, 11));
   QuerySpec deadline_spec;
   deadline_spec.query = std::move(slow);
+  deadline_spec.adaptive.policy = policy;
   deadline_spec.timeout = std::chrono::milliseconds(0);
   AJR_ASSIGN_OR_RETURN(QueryHandle timed_out, engine.Submit(std::move(deadline_spec)));
   std::printf("deadline query   -> %s\n",
@@ -123,6 +128,9 @@ Status Run(size_t dop) {
                 dop,
                 static_cast<double>(pmorsels) / static_cast<double>(pqueries),
                 (unsigned long long)pfolds);
+    if (dop > 1 && std::thread::hardware_concurrency() <= 1) {
+      std::printf("WARNING: hardware_concurrency=1, speedups not meaningful\n");
+    }
   } else {
     std::printf("parallel path: unused (dop=%zu); rerun with --dop=4 to "
                 "split each driving scan across the worker pool\n", dop);
@@ -134,17 +142,28 @@ Status Run(size_t dop) {
 
 int main(int argc, char** argv) {
   size_t dop = 1;
+  PolicyKind policy = PolicyKind::kRank;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dop=", 6) == 0) {
       dop = static_cast<size_t>(std::strtoull(argv[i] + 6, nullptr, 10));
       if (dop == 0) dop = 1;
+    } else if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      auto parsed = ParsePolicyKind(argv[i] + 9);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "unknown policy: %s (rank|regret|static)\n",
+                     argv[i] + 9);
+        return 2;
+      }
+      policy = *parsed;
     } else {
-      std::fprintf(stderr, "unknown flag: %s (usage: %s [--dop=N])\n",
+      std::fprintf(stderr,
+                   "unknown flag: %s (usage: %s [--dop=N]"
+                   " [--policy=rank|regret|static])\n",
                    argv[i], argv[0]);
       return 2;
     }
   }
-  Status status = Run(dop);
+  Status status = Run(dop, policy);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

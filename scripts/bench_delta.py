@@ -14,10 +14,14 @@ shared-runner wall clocks are noisy — the exit code is for humans running
 the comparison on quiet hardware, and for the job-summary table this
 script appends to $GITHUB_STEP_SUMMARY when that variable is set.
 
-Harness provenance (git_sha, build_type, dop) is stamped into each file
-by bench/harness_util; comparing across different build types or dops is
-reported as a warning because such deltas measure the configuration, not
-the code. Only Python stdlib is used.
+Harness provenance (git_sha, build_type, dop, policy) is stamped into
+each file by bench/harness_util; comparing across different build types,
+dops, or adaptation policies is reported as a warning because such deltas
+measure the configuration, not the code. When either side of a comparison
+carries the `speedups_not_meaningful` marker (bench/parallel_scaling sets
+it on hardware_concurrency=1 machines, mirroring its WARNING line), all
+dop>1 metrics are skipped: single-core "speedups" are scheduler noise.
+Only Python stdlib is used.
 """
 
 import json
@@ -38,6 +42,9 @@ INFORMATIONAL = ("workers", "hardware_concurrency", "morsel", "queries",
 
 def classify(name):
     low = name.lower()
+    # The marker metric contains "speedup" but is a configuration echo.
+    if "not_meaningful" in low:
+        return "info"
     for pat in INFORMATIONAL:
         if pat in low:
             # Lower/higher patterns win when both match (e.g. a latency
@@ -57,8 +64,28 @@ def classify(name):
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    meta = {k: doc.get(k) for k in ("git_sha", "build_type", "dop")}
+    meta = {k: doc.get(k) for k in ("git_sha", "build_type", "dop", "policy")}
     return {m["name"]: m["value"] for m in doc.get("metrics", [])}, meta
+
+
+def dop_of(metric):
+    """Returns the dop a per-dop metric was measured at, or None.
+
+    Matches the `<name>_dopN` / `<name>_dopN_<suffix>` convention used by
+    bench/parallel_scaling (e.g. `speedup_dop4`, `work_units_dop2_vs_serial`).
+    """
+    low = metric.lower()
+    idx = low.find("_dop")
+    while idx != -1:
+        digits = ""
+        j = idx + 4
+        while j < len(low) and low[j].isdigit():
+            digits += low[j]
+            j += 1
+        if digits and (j == len(low) or low[j] == "_"):
+            return int(digits)
+        idx = low.find("_dop", idx + 1)
+    return None
 
 
 def main():
@@ -93,13 +120,22 @@ def main():
             continue
         fresh, fmeta = load(os.path.join(fresh_dir, name))
         base, bmeta = load(base_path)
-        for key in ("build_type", "dop"):
+        for key in ("build_type", "dop", "policy"):
             if bmeta.get(key) is not None and fmeta.get(key) is not None \
                     and bmeta[key] != fmeta[key]:
                 print(f"  WARNING: {key} differs "
                       f"(baseline={bmeta[key]}, fresh={fmeta[key]}); "
                       "deltas measure the configuration, not the code")
+        single_core = fresh.get("speedups_not_meaningful") == 1 or \
+            base.get("speedups_not_meaningful") == 1
+        if single_core:
+            print("  NOTE: speedups_not_meaningful marker set "
+                  "(hardware_concurrency=1 on at least one side); "
+                  "skipping dop>1 comparisons")
         for metric in sorted(set(fresh) | set(base)):
+            if single_core and (dop_of(metric) or 1) > 1:
+                print(f"  {metric:44s} skipped (single-core run)")
+                continue
             if metric not in fresh or metric not in base:
                 side = "baseline" if metric not in fresh else "fresh run"
                 print(f"  {metric:44s} only in {side}")

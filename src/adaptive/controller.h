@@ -19,6 +19,15 @@
 
 namespace ajr {
 
+/// Which AdaptationPolicy (adaptive/policy.h) drives reorder/switch
+/// decisions. kRank is the paper's rank-based procedures; kRegret is
+/// SkinnerDB-style UCB1 exploration; kStatic never adapts.
+enum class PolicyKind {
+  kRank,
+  kRegret,
+  kStatic,
+};
+
 /// Run-time adaptation knobs (paper defaults: c = 10, w = 1000).
 struct AdaptiveOptions {
   /// Enable inner-leg reordering (Fig 2 / Fig 8 experiments).
@@ -69,6 +78,10 @@ struct AdaptiveOptions {
   /// Bypassed while a leg's positional predicate is active. 0 disables the
   /// cache.
   size_t probe_cache_entries = 128;
+  /// Which decision policy the executor instantiates (adaptive/policy.h).
+  /// kStatic forces both reorder capabilities off regardless of the
+  /// reorder_* flags above; kRank and kRegret honor them.
+  PolicyKind policy = PolicyKind::kRank;
   static constexpr uint64_t kMaxBackoff = 16;
 };
 

@@ -1,0 +1,236 @@
+// AdaptationPolicy: the pluggable reordering brain of the adaptive
+// executor (DESIGN.md §12).
+//
+// The serial PipelineExecutor and the parallel AdaptiveCoordinator own all
+// run-time *mechanics* — monitors, check cadence (CheckBackoff), demotion /
+// promotion, positional predicates, the epoch/barrier protocol — and
+// delegate every *decision* to an AdaptationPolicy. At each decision point
+// (a depleted state: a segment depletion for inner reorders, a driving-row
+// boundary for driving switches) the host assembles a read-only
+// PolicySnapshot from its merged monitor statistics and receives back a
+// PolicyDecision: keep the current order, reorder the inner tail, or
+// switch the driving leg. Decisions are *adopted* by the host exactly
+// where the paper adopts them, so invariants I1–I5 and the parallel
+// epoch/barrier protocol are policy-independent.
+//
+// Thread-safety contract: a policy instance is owned by exactly one host.
+// In serial execution that host is the PipelineExecutor (single-threaded).
+// In morsel-parallel execution the AdaptiveCoordinator owns the single
+// fleet-wide instance and calls Decide() only under its mutex — workers
+// never see the policy, they only adopt published epochs. Policies
+// therefore need no internal locking.
+//
+// Shipped policies:
+//   * RankPolicy   — the paper's procedures (CheckInnerReorder Fig 2,
+//                    CheckDrivingSwitch Fig 3), moved not rewritten:
+//                    bit-identical decisions to the pre-policy executor.
+//   * RegretBoundedPolicy — SkinnerDB-style exploration: UCB1 over
+//                    candidate join orders at depleted states, per-order
+//                    reward = output rows per work unit within the slice,
+//                    cumulative empirical regret exposed as stats.
+//   * StaticPolicy — never adapts; the optimizer's order runs unchanged
+//                    (replaces the ad-hoc reorder_inners=false plumbing as
+//                    the way to request a static baseline).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaptive/controller.h"
+#include "optimize/cost_model.h"
+
+namespace ajr {
+
+/// Which depleted state a decision is requested at.
+enum class DecisionPoint {
+  /// Segment [position..k] just depleted (Fig 2's moment): the policy may
+  /// reorder order[position..] but must keep the prefix — including the
+  /// driving leg — fixed.
+  kInnerDepleted,
+  /// The whole pipeline is depleted, between driving rows (Fig 3's
+  /// moment): the policy may switch the driving leg or reorder the full
+  /// inner tail (position 1).
+  kDrivingBoundary,
+};
+
+/// Read-only view of the host's run-time state at one decision point.
+/// Pointers borrow host-owned storage and are valid only for the duration
+/// of the Decide() call.
+struct PolicySnapshot {
+  DecisionPoint point = DecisionPoint::kDrivingBoundary;
+  /// First reorderable pipeline position (>= 1; meaningful for
+  /// kInnerDepleted, always 1 at a driving boundary).
+  size_t position = 1;
+  /// Merged monitor statistics (measured selectivities where warm, the
+  /// optimizer's estimates elsewhere), demoted legs already scaled to
+  /// their unprocessed remainder.
+  const CostInputs* inputs = nullptr;
+  /// Current pipeline order; order[0] is the driving leg.
+  const std::vector<size_t>* order = nullptr;
+  /// Per-table driving candidates (remaining scan entries and flow).
+  /// Non-null only at kDrivingBoundary.
+  const std::vector<DrivingCandidate>* candidates = nullptr;
+  /// Driving rows produced so far (host-wide; fleet-wide under the
+  /// parallel coordinator).
+  uint64_t driving_rows_produced = 0;
+  /// Cumulative output rows / work units — the reward signal for
+  /// exploration policies. Fleet-wide merged totals under the parallel
+  /// coordinator.
+  uint64_t rows_out = 0;
+  uint64_t work_units = 0;
+  /// Decision epoch: how many times the host consulted the policy before
+  /// this call.
+  uint64_t epoch = 0;
+};
+
+/// What the host should do at this depleted state.
+struct PolicyDecision {
+  enum class Action {
+    kKeep,           ///< no change
+    kInnerReorder,   ///< adopt new_order; driving leg unchanged
+    kDrivingSwitch,  ///< adopt new_order; new_order[0] != order[0]
+  };
+  Action action = Action::kKeep;
+  /// Full pipeline order to adopt (all actions except kKeep). For
+  /// kInnerReorder the prefix [0..snapshot.position) is unchanged.
+  std::vector<size_t> new_order;
+  /// Estimated remaining cost of the current / chosen plan (work units)
+  /// when the policy costs plans; both 0 for policies that do not.
+  double est_current = 0;
+  double est_best = 0;
+
+  bool changed() const { return action != Action::kKeep; }
+};
+
+/// Lifetime counters a policy maintains across decisions.
+struct PolicyStats {
+  uint64_t decisions = 0;         ///< Decide() calls
+  uint64_t inner_reorders = 0;    ///< decisions returning kInnerReorder
+  uint64_t driving_switches = 0;  ///< decisions returning kDrivingSwitch
+  /// Cumulative empirical regret (exploration policies): the reward an
+  /// always-play-the-best-arm policy would have collected minus the reward
+  /// actually collected, in normalized reward units. 0 for rank/static.
+  double cumulative_regret = 0;
+};
+
+/// The decision interface. See the file comment for the ownership and
+/// thread-safety contract.
+class AdaptationPolicy {
+ public:
+  virtual ~AdaptationPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Capability gates, checked by the host *before* paying for snapshot
+  /// assembly: a host never calls Decide() at a decision point the policy
+  /// does not adapt. Both false = fully static execution (no checks, no
+  /// monitors consulted).
+  virtual bool adapts_inners() const = 0;
+  virtual bool adapts_driving() const = 0;
+
+  /// One decision. The returned order must be a permutation of
+  /// *snapshot.order honoring the point's prefix constraint; the host
+  /// adopts it at the current depleted state.
+  virtual PolicyDecision Decide(const PolicySnapshot& snapshot) = 0;
+
+  const PolicyStats& stats() const { return stats_; }
+
+ protected:
+  PolicyStats stats_;
+};
+
+/// The paper's rank-based procedures behind the policy interface. Honors
+/// AdaptiveOptions::reorder_inners / reorder_driving, and produces exactly
+/// the decisions the pre-policy executor produced (CheckInnerReorder /
+/// CheckDrivingSwitch over the same snapshot inputs).
+class RankPolicy : public AdaptationPolicy {
+ public:
+  explicit RankPolicy(const AdaptiveOptions& options) : options_(options) {}
+  const char* name() const override { return "rank"; }
+  bool adapts_inners() const override { return options_.reorder_inners; }
+  bool adapts_driving() const override { return options_.reorder_driving; }
+  PolicyDecision Decide(const PolicySnapshot& snapshot) override;
+
+ private:
+  AdaptiveOptions options_;
+};
+
+/// Never adapts: the host skips all checks and the optimizer's initial
+/// order runs to completion (the paper's "static" baseline).
+class StaticPolicy : public AdaptationPolicy {
+ public:
+  const char* name() const override { return "static"; }
+  bool adapts_inners() const override { return false; }
+  bool adapts_driving() const override { return false; }
+  PolicyDecision Decide(const PolicySnapshot&) override {
+    ++stats_.decisions;  // defensive: hosts gate on the capabilities above
+    return PolicyDecision{};
+  }
+};
+
+/// SkinnerDB-style regret-bounded exploration (PAPERS.md): treats
+/// candidate join orders as bandit arms and picks by UCB1 at every
+/// depleted state. The slice between two consecutive decisions is credited
+/// to the arm that was active, with reward rows/(rows+work) — a
+/// normalized output-rows-per-work-unit in [0,1).
+///
+/// Arms: for queries of up to kExhaustiveArmTables tables, every
+/// permutation is an arm (the 3-table convergence test explores all 6).
+/// Above that, one arm per driving leg (inners greedy-rank-ordered at
+/// selection time) and inner-tail decisions fall back to the paper's
+/// rank procedure — UCB over n! arms would explore forever.
+class RegretBoundedPolicy : public AdaptationPolicy {
+ public:
+  static constexpr size_t kExhaustiveArmTables = 4;
+
+  explicit RegretBoundedPolicy(const AdaptiveOptions& options)
+      : options_(options) {}
+  const char* name() const override { return "regret"; }
+  bool adapts_inners() const override { return options_.reorder_inners; }
+  bool adapts_driving() const override { return options_.reorder_driving; }
+  PolicyDecision Decide(const PolicySnapshot& snapshot) override;
+
+  /// Exposed for tests: per-arm pull counts and mean rewards.
+  struct ArmView {
+    std::vector<size_t> order;  ///< full order, or {driving} in hybrid mode
+    uint64_t pulls = 0;
+    double mean_reward = 0;
+  };
+  std::vector<ArmView> arms() const;
+
+ private:
+  struct Arm {
+    std::vector<size_t> order;
+    uint64_t pulls = 0;
+    double reward_sum = 0;
+    double mean() const { return pulls > 0 ? reward_sum / pulls : 0.0; }
+  };
+
+  void InitArms(const PolicySnapshot& snapshot);
+  void CreditActiveArm(const PolicySnapshot& snapshot);
+  void RecomputeRegret();
+  /// UCB1 index of arm i; unexplored arms sort first.
+  double UcbIndex(size_t i, uint64_t total_pulls) const;
+
+  AdaptiveOptions options_;
+  std::vector<Arm> arms_;
+  /// True when arms are driving-leg-only (more than kExhaustiveArmTables
+  /// tables): tails are rank-ordered at selection time.
+  bool hybrid_ = false;
+  size_t active_arm_ = SIZE_MAX;
+  uint64_t last_rows_ = 0;
+  uint64_t last_work_ = 0;
+};
+
+/// Policy selection for QuerySpec / engine_server --policy=<name>.
+const char* PolicyKindName(PolicyKind kind);
+std::optional<PolicyKind> ParsePolicyKind(const std::string& name);
+
+/// Instantiates the policy selected by `options.policy`.
+std::unique_ptr<AdaptationPolicy> MakePolicy(const AdaptiveOptions& options);
+
+}  // namespace ajr

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "adaptive/policy.h"
 #include "common/string_util.h"
 #include "exec/pipeline_executor.h"
 
@@ -26,6 +27,7 @@ AdaptiveCoordinator::AdaptiveCoordinator(const PipelinePlan* plan,
       source_(source),
       fold_interval_(fold_interval > 0 ? fold_interval
                                        : std::max<size_t>(1, options.check_frequency)),
+      policy_(MakePolicy(options)),
       backoff_(1, options.check_backoff) {
   const size_t n = plan_->query.tables.size();
   order_ = plan_->initial_order;
@@ -42,6 +44,8 @@ AdaptiveCoordinator::AdaptiveCoordinator(const PipelinePlan* plan,
     }
   }
 }
+
+AdaptiveCoordinator::~AdaptiveCoordinator() = default;
 
 Status AdaptiveCoordinator::Init() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -110,13 +114,15 @@ void AdaptiveCoordinator::Fold(const WorkerMonitorDeltas& deltas) {
     driving_[t].Absorb(deltas.driving[t]);
   }
   for (size_t e = 0; e < edges_.size(); ++e) edges_[e].Absorb(deltas.edges[e]);
+  merged_rows_out_ += deltas.rows_out;
+  merged_work_units_ += deltas.work_units;
   ++folds_;
   // Decisions fire only while dispensing: once draining, the pending switch
   // must install before new evidence can overturn it, and at end-of-scan
   // the remaining work is zero — nothing to reoptimize.
   if (state_ != State::kRunning) return;
   if (order_.size() <= 1) return;
-  if (!options_.reorder_inners && !options_.reorder_driving) return;
+  if (!policy_->adapts_inners() && !policy_->adapts_driving()) return;
   if (++folds_since_check_ < backoff_.interval()) return;
   folds_since_check_ = 0;
   RunChecksLocked();
@@ -159,13 +165,22 @@ uint64_t AdaptiveCoordinator::MergedDrivingRowsLocked() const {
 
 void AdaptiveCoordinator::RunChecksLocked() {
   bool reordered = false;
-  if (options_.reorder_inners && order_.size() > 2) {
+  if (policy_->adapts_inners() && order_.size() > 2) {
     ++inner_checks_;
     CostInputs in = BuildCostInputsLocked(kInnerMinSamples);
-    auto tail = CheckInnerReorder(in, order_, 1, options_.inner_benefit_epsilon);
-    if (tail.has_value()) {
+    PolicySnapshot snapshot;
+    snapshot.point = DecisionPoint::kInnerDepleted;
+    snapshot.position = 1;
+    snapshot.inputs = &in;
+    snapshot.order = &order_;
+    snapshot.driving_rows_produced = MergedDrivingRowsLocked();
+    snapshot.rows_out = merged_rows_out_;
+    snapshot.work_units = merged_work_units_;
+    snapshot.epoch = epoch_.load(std::memory_order_relaxed);
+    PolicyDecision decision = policy_->Decide(snapshot);
+    if (decision.action == PolicyDecision::Action::kInnerReorder) {
       ++inner_reorders_;
-      std::copy(tail->begin(), tail->end(), order_.begin() + 1);
+      order_ = std::move(decision.new_order);
       std::string msg = StrCat("parallel inner reorder after ",
                                MergedDrivingRowsLocked(), " driving rows; order");
       for (size_t t : order_) msg += " " + plan_->query.tables[t].alias;
@@ -174,7 +189,7 @@ void AdaptiveCoordinator::RunChecksLocked() {
       reordered = true;
     }
   }
-  if (options_.reorder_driving) {
+  if (policy_->adapts_driving()) {
     ++driving_checks_;
     CostInputs in = BuildCostInputsLocked(options_.min_leg_samples);
     const size_t current = order_[0];
@@ -210,10 +225,36 @@ void AdaptiveCoordinator::RunChecksLocked() {
         cand.flow = in.tables[t].local_sel * card;
       }
     }
-    auto decision = CheckDrivingSwitch(in, order_, candidates, options_);
-    if (decision.has_value()) {
-      pending_switch_ = std::move(decision);
+    PolicySnapshot snapshot;
+    snapshot.point = DecisionPoint::kDrivingBoundary;
+    snapshot.position = 1;
+    snapshot.inputs = &in;
+    snapshot.order = &order_;
+    snapshot.candidates = &candidates;
+    snapshot.driving_rows_produced = MergedDrivingRowsLocked();
+    snapshot.rows_out = merged_rows_out_;
+    snapshot.work_units = merged_work_units_;
+    snapshot.epoch = epoch_.load(std::memory_order_relaxed);
+    PolicyDecision decision = policy_->Decide(snapshot);
+    if (decision.action == PolicyDecision::Action::kDrivingSwitch) {
+      DrivingSwitchDecision sw;
+      sw.new_order = std::move(decision.new_order);
+      sw.est_current = decision.est_current;
+      sw.est_best = decision.est_best;
+      pending_switch_ = std::move(sw);
       state_ = State::kDrainingSwitch;
+      reordered = true;
+    } else if (decision.action == PolicyDecision::Action::kInnerReorder) {
+      // An exploration policy kept the driving leg but chose a different
+      // tail: an ordinary inner reorder, published immediately (workers
+      // adopt it at their next depleted state).
+      ++inner_reorders_;
+      order_ = std::move(decision.new_order);
+      std::string msg = StrCat("parallel inner reorder after ",
+                               MergedDrivingRowsLocked(), " driving rows; order");
+      for (size_t t : order_) msg += " " + plan_->query.tables[t].alias;
+      events_.push_back(std::move(msg));
+      epoch_.fetch_add(1, std::memory_order_release);
       reordered = true;
     }
   }
@@ -306,6 +347,12 @@ void AdaptiveCoordinator::FinishStats(ExecStats* stats) const {
   stats->final_order = order_;
   stats->events.insert(stats->events.end(), events_.begin(), events_.end());
   stats->work_units += source_->scan_work_units();
+  const PolicyStats& ps = policy_->stats();
+  stats->policy_decisions += ps.decisions;
+  stats->policy_reorders += ps.inner_reorders;
+  stats->policy_switches += ps.driving_switches;
+  stats->policy_regret_x1000 +=
+      static_cast<uint64_t>(ps.cumulative_regret * 1000.0 + 0.5);
 }
 
 }  // namespace ajr

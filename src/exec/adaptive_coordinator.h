@@ -38,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -51,6 +52,7 @@
 
 namespace ajr {
 
+class AdaptationPolicy;
 struct ExecStats;
 
 /// One batch of driving-scan entries handed to a worker. `positions` is
@@ -123,6 +125,11 @@ struct WorkerMonitorDeltas {
   std::vector<LegMonitor::Delta> inner;       ///< per query table
   std::vector<DrivingMonitor::Delta> driving; ///< per query table
   std::vector<EdgeMonitor::Delta> edges;      ///< per query edge
+  /// Output rows / work units this worker accrued since its previous fold —
+  /// the fleet-wide reward signal for exploration policies (the coordinator
+  /// accumulates them into the PolicySnapshot it feeds its policy).
+  uint64_t rows_out = 0;
+  uint64_t work_units = 0;
 };
 
 class AdaptiveCoordinator {
@@ -132,6 +139,7 @@ class AdaptiveCoordinator {
   /// options' check frequency c).
   AdaptiveCoordinator(const PipelinePlan* plan, const AdaptiveOptions& options,
                       DrivingSource* source, size_t fold_interval = 0);
+  ~AdaptiveCoordinator();
 
   /// Promotes the plan's initial driving leg. Call once before workers run.
   Status Init();
@@ -205,6 +213,10 @@ class AdaptiveCoordinator {
   AdaptiveOptions options_;
   DrivingSource* source_;
   size_t fold_interval_;
+  /// The fleet-wide decision policy (adaptive/policy.h): one instance for
+  /// the whole run, consulted only inside RunChecksLocked (under mu_), so
+  /// it needs no locking of its own. Workers never see it.
+  std::unique_ptr<AdaptationPolicy> policy_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -227,6 +239,10 @@ class AdaptiveCoordinator {
   CheckBackoff backoff_;
   uint64_t folds_ = 0;
   uint64_t folds_since_check_ = 0;
+  /// Fleet-wide output rows / work units accumulated from worker folds —
+  /// the reward signal handed to exploration policies in PolicySnapshot.
+  uint64_t merged_rows_out_ = 0;
+  uint64_t merged_work_units_ = 0;
 
   uint64_t inner_checks_ = 0;
   uint64_t inner_reorders_ = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "adaptive/policy.h"
 #include "common/check.h"
 #include "common/string_util.h"
 #include "exec/exec_observer.h"
@@ -35,6 +36,10 @@ PipelineExecutor::PipelineExecutor(const PipelinePlan* plan, AdaptiveOptions opt
     : plan_(plan), options_(options) {}
 
 PipelineExecutor::~PipelineExecutor() = default;
+
+void PipelineExecutor::set_policy(std::unique_ptr<AdaptationPolicy> policy) {
+  policy_ = std::move(policy);
+}
 
 Status PipelineExecutor::InitLegs() {
   const JoinQuery& q = plan_->query;
@@ -477,18 +482,53 @@ void PipelineExecutor::DrivingCheck() {
     }
   }
 
-  auto decision = CheckDrivingSwitch(in, order_, candidates, options_);
-  if (!decision.has_value()) return;
+  PolicySnapshot snapshot;
+  snapshot.point = DecisionPoint::kDrivingBoundary;
+  snapshot.position = 1;
+  snapshot.inputs = &in;
+  snapshot.order = &order_;
+  snapshot.candidates = &candidates;
+  snapshot.driving_rows_produced = stats_.driving_rows_produced;
+  snapshot.rows_out = stats_.rows_out;
+  snapshot.work_units = wc_.total();
+  snapshot.epoch = policy_->stats().decisions;
+  PolicyDecision decision = policy_->Decide(snapshot);
+  if (!decision.changed()) return;
+  if (decision.action == PolicyDecision::Action::kInnerReorder) {
+    // Exploration policies may pick a same-driving-leg order here; the whole
+    // pipeline is depleted between driving rows, so adopting the tail at
+    // position 1 is an ordinary inner reorder (invariant I4 holds).
+    ++stats_.inner_reorders;
+    driving_backoff_.OnReorder();
+    std::vector<size_t> order_before = order_;
+    order_ = decision.new_order;
+    RefreshPositions(1);
+    std::string msg =
+        StrCat("inner reorder at position 1 after ", stats_.driving_rows_produced,
+               " driving rows (policy ", policy_->name(), "); order");
+    for (size_t t : order_) msg += " " + plan_->query.tables[t].alias;
+    stats_.events.push_back(std::move(msg));
+    if (observer_ != nullptr) {
+      AdaptationEvent ev;
+      ev.kind = AdaptationEvent::Kind::kInnerReorder;
+      ev.position = 1;
+      ev.order_before = std::move(order_before);
+      ev.order_after = order_;
+      ev.driving_rows_produced = stats_.driving_rows_produced;
+      observer_->OnAdaptation(ev);
+    }
+    return;
+  }
   ++stats_.driving_switches;
   driving_backoff_.OnReorder();
   std::vector<size_t> order_before = order_;
   {
     std::string msg = StrCat("driving switch after ", stats_.driving_rows_produced,
                              " rows: ", plan_->query.tables[current].alias, " -> ",
-                             plan_->query.tables[decision->new_order[0]].alias,
-                             " (est remaining ", FormatDouble(decision->est_current, 0),
-                             " -> ", FormatDouble(decision->est_best, 0), " wu); order");
-    for (size_t t : decision->new_order) {
+                             plan_->query.tables[decision.new_order[0]].alias,
+                             " (est remaining ", FormatDouble(decision.est_current, 0),
+                             " -> ", FormatDouble(decision.est_best, 0), " wu); order");
+    for (size_t t : decision.new_order) {
       msg += " " + plan_->query.tables[t].alias;
     }
     stats_.events.push_back(std::move(msg));
@@ -511,13 +551,13 @@ void PipelineExecutor::DrivingCheck() {
 
   // Promote the new driving leg; a previously demoted leg resumes its
   // original cursor (which already sits past its prefix).
-  size_t next = decision->new_order[0];
+  size_t next = decision.new_order[0];
   if (legs_[next].cursor == nullptr) {
     Status st = CreateDrivingCursor(next);
     assert(st.ok());
     (void)st;
   }
-  order_ = decision->new_order;
+  order_ = std::move(decision.new_order);
   RefreshPositions(1);
 
   if (observer_ != nullptr) {
@@ -539,12 +579,21 @@ void PipelineExecutor::InnerCheck(size_t level) {
   checking_leg.check_backoff.OnUnproductiveCheck();
   ++stats_.inner_checks;
   CostInputs in = BuildRuntimeCostInputs(kInnerMinSamples);
-  auto tail = CheckInnerReorder(in, order_, level, options_.inner_benefit_epsilon);
-  if (!tail.has_value()) return;
+  PolicySnapshot snapshot;
+  snapshot.point = DecisionPoint::kInnerDepleted;
+  snapshot.position = level;
+  snapshot.inputs = &in;
+  snapshot.order = &order_;
+  snapshot.driving_rows_produced = stats_.driving_rows_produced;
+  snapshot.rows_out = stats_.rows_out;
+  snapshot.work_units = wc_.total();
+  snapshot.epoch = policy_->stats().decisions;
+  PolicyDecision decision = policy_->Decide(snapshot);
+  if (!decision.changed()) return;
   ++stats_.inner_reorders;
   checking_leg.check_backoff.OnReorder();
   std::vector<size_t> order_before = order_;
-  std::copy(tail->begin(), tail->end(), order_.begin() + level);
+  order_ = std::move(decision.new_order);
   RefreshPositions(level);
   if (observer_ != nullptr) {
     AdaptationEvent ev;
@@ -601,6 +650,9 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
         "PipelineExecutor is single-use: Execute() was already called");
   }
   executed_ = true;
+  if (policy_ == nullptr) policy_ = MakePolicy(options_);
+  adapt_inners_ = policy_->adapts_inners();
+  adapt_driving_ = policy_->adapts_driving();
   AJR_RETURN_IF_ERROR(InitLegs());
   order_ = plan_->initial_order;
   driving_backoff_ = CheckBackoff(options_.check_frequency, options_.check_backoff);
@@ -620,7 +672,7 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
         StopReason stop = cancel_token_->Check();
         if (stop != StopReason::kNone) return CancellationToken::ToStatus(stop);
       }
-      if (options_.reorder_driving && k > 1 &&
+      if (adapt_driving_ && k > 1 &&
           produced_since_check_ >= driving_backoff_.interval()) {
         DrivingCheck();
       }
@@ -659,7 +711,7 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
                                                         : cancel_token_->CheckFlag();
         if (stop != StopReason::kNone) return CancellationToken::ToStatus(stop);
       }
-      if (options_.reorder_inners && static_cast<size_t>(level) + 1 < k &&
+      if (adapt_inners_ && static_cast<size_t>(level) + 1 < k &&
           leg.incoming_since_check >= leg.check_backoff.interval()) {
         InnerCheck(static_cast<size_t>(level));
       }
@@ -670,12 +722,24 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
   stats_.work_units = wc_.total();
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  {
+    const PolicyStats& ps = policy_->stats();
+    stats_.policy_decisions = ps.decisions;
+    stats_.policy_reorders = ps.inner_reorders;
+    stats_.policy_switches = ps.driving_switches;
+    stats_.policy_regret_x1000 =
+        static_cast<uint64_t>(ps.cumulative_regret * 1000.0 + 0.5);
+  }
   if (metrics_ != nullptr) {
     metrics_->GetCounter("exec.probe_cache_hits")->Add(stats_.probe_cache_hits);
     metrics_->GetCounter("exec.probe_cache_misses")->Add(stats_.probe_cache_misses);
     metrics_->GetCounter("exec.probe_batches")->Add(stats_.probe_batches);
     metrics_->GetCounter("exec.probe_batch_keys")->Add(stats_.probe_batch_keys);
     metrics_->GetCounter("exec.probe_descents_saved")->Add(stats_.probe_descents_saved);
+    metrics_->GetCounter("exec.policy_decisions")->Add(stats_.policy_decisions);
+    metrics_->GetCounter("exec.policy_reorders")->Add(stats_.policy_reorders);
+    metrics_->GetCounter("exec.policy_switches")->Add(stats_.policy_switches);
+    metrics_->GetCounter("exec.policy_regret_x1000")->Add(stats_.policy_regret_x1000);
   }
   return stats_;
 }

@@ -34,6 +34,7 @@
 
 namespace ajr {
 
+class AdaptationPolicy;
 class AdaptiveCoordinator;
 class ExecObserver;
 struct FaultInjection;
@@ -63,6 +64,15 @@ struct ExecStats {
   uint64_t parallel_workers = 0;
   uint64_t morsels = 0;
   uint64_t monitor_folds = 0;
+  /// AdaptationPolicy observability (adaptive/policy.h): Decide() calls and
+  /// what they returned, plus the policy's cumulative empirical regret in
+  /// milli-reward units (0 for rank/static, which track no regret). Owned
+  /// by the decision host — the serial executor or the parallel
+  /// coordinator — so workers report 0.
+  uint64_t policy_decisions = 0;
+  uint64_t policy_reorders = 0;
+  uint64_t policy_switches = 0;
+  uint64_t policy_regret_x1000 = 0;
   /// Total join-order changes (inner reorders + driving switches) — the
   /// quantity Fig 10 plots against the history window size.
   uint64_t order_switches() const { return inner_reorders + driving_switches; }
@@ -124,6 +134,16 @@ class PipelineExecutor {
   /// path). `metrics` must outlive Execute(); may be null (default). Call
   /// before Execute().
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Injects the AdaptationPolicy that will own this run's reorder/switch
+  /// decisions. Default (no call): Execute() instantiates the policy named
+  /// by options.policy via MakePolicy. Call before Execute(); mainly for
+  /// tests that need to inspect the policy (e.g. RegretBoundedPolicy arm
+  /// statistics) after the run.
+  void set_policy(std::unique_ptr<AdaptationPolicy> policy);
+
+  /// The policy driving this run (null until Execute() unless injected).
+  AdaptationPolicy* policy() const { return policy_.get(); }
 
   /// Morsel-parallel worker mode (see exec/adaptive_coordinator.h): driving
   /// rows come from the coordinator's shared morsel source instead of a
@@ -266,6 +286,13 @@ class PipelineExecutor {
   WorkCounter wc_;
   uint64_t produced_since_check_ = 0;
   CheckBackoff driving_backoff_;
+  /// Decision policy (serial mode only; workers adopt coordinator
+  /// decisions and never own a policy).
+  std::unique_ptr<AdaptationPolicy> policy_;
+  /// Policy capabilities, cached at Execute() entry so the get-next loop's
+  /// gates stay branch-on-bool (identical cost to the old reorder_* gates).
+  bool adapt_inners_ = false;
+  bool adapt_driving_ = false;
   const CancellationToken* cancel_token_ = nullptr;
   ExecObserver* observer_ = nullptr;
   const FaultInjection* faults_ = nullptr;
@@ -274,6 +301,10 @@ class PipelineExecutor {
   bool executed_ = false;
   /// Worker mode: the coordinator epoch this worker last adopted.
   uint64_t parallel_epoch_ = 0;
+  /// Worker mode: rows/work already reported to the coordinator, so each
+  /// fold carries only the delta since the previous one.
+  uint64_t folded_rows_ = 0;
+  uint64_t folded_work_ = 0;
   ExecStats stats_;
 };
 

@@ -66,7 +66,12 @@ std::optional<std::string> WorkStatsDiff(const ExecStats& a, const ExecStats& b)
         diff_u64("inner_checks", a.inner_checks, b.inner_checks),
         diff_u64("inner_reorders", a.inner_reorders, b.inner_reorders),
         diff_u64("driving_checks", a.driving_checks, b.driving_checks),
-        diff_u64("driving_switches", a.driving_switches, b.driving_switches)}) {
+        diff_u64("driving_switches", a.driving_switches, b.driving_switches),
+        diff_u64("policy_decisions", a.policy_decisions, b.policy_decisions),
+        diff_u64("policy_reorders", a.policy_reorders, b.policy_reorders),
+        diff_u64("policy_switches", a.policy_switches, b.policy_switches),
+        diff_u64("policy_regret_x1000", a.policy_regret_x1000,
+                 b.policy_regret_x1000)}) {
     if (d.has_value()) return d;
   }
   if (a.initial_order != b.initial_order) {
@@ -132,9 +137,11 @@ AdaptiveOptions AggressiveAdaptiveOptions() {
 }
 
 std::vector<DifferentialConfig> DefaultConfigs() {
+  // The static baseline is a policy now, not a pair of disabled flags: the
+  // StaticPolicy's capabilities gate every check off, so the optimizer's
+  // initial order runs unchanged.
   AdaptiveOptions off;
-  off.reorder_inners = false;
-  off.reorder_driving = false;
+  off.policy = PolicyKind::kStatic;
   // Probe-strategy variants: per-row (batching and memoization off), batch
   // descent only, memoization only, and both (the AdaptiveOptions default).
   // All four of a class must produce bit-identical logical work.
@@ -144,6 +151,14 @@ std::vector<DifferentialConfig> DefaultConfigs() {
     return base;
   };
   AdaptiveOptions aggressive = AggressiveAdaptiveOptions();
+  // Regret-bounded exploration: the policy's decisions depend only on
+  // depleted-state snapshots (rows/work totals are replayed bit-identically
+  // by every probe strategy), so regret configs can share a work_class like
+  // the rank configs do.
+  AdaptiveOptions regret;
+  regret.policy = PolicyKind::kRegret;
+  AdaptiveOptions regret_aggressive = AggressiveAdaptiveOptions();
+  regret_aggressive.policy = PolicyKind::kRegret;
   const size_t kBatch = AdaptiveOptions{}.probe_batch_size;
   const size_t kCache = AdaptiveOptions{}.probe_cache_entries;
   return {
@@ -163,6 +178,13 @@ std::vector<DifferentialConfig> DefaultConfigs() {
        StatsTier::kBase, "aggressive"},
       {"aggressive-base/memo-only", probes(aggressive, 1, kCache),
        StatsTier::kBase, "aggressive"},
+      // Regret-bounded policy axis: results must still match the reference
+      // under UCB-driven switching, and the policy must be deterministic
+      // across probe strategies (shared work_class).
+      {"regret-base", regret, StatsTier::kBase, "regret"},
+      {"regret-base/per-row", probes(regret, 1, 0), StatsTier::kBase,
+       "regret"},
+      {"regret-aggressive", regret_aggressive, StatsTier::kBase, ""},
       // Morsel-parallel axis: the same invariants must hold per worker
       // pipeline, and the merged result multiset must still equal the
       // reference, for every dop. Tiny morsels force frequent dispenser
@@ -171,7 +193,16 @@ std::vector<DifferentialConfig> DefaultConfigs() {
       {"static/dop2", off, StatsTier::kBase, "", 2, 5},
       {"paper-default/dop2", AdaptiveOptions{}, StatsTier::kMinimal, "", 2, 5},
       {"aggressive-base/dop4", aggressive, StatsTier::kBase, "", 4, 3},
+      {"regret-base/dop2", regret, StatsTier::kBase, "", 2, 5},
   };
+}
+
+std::vector<DifferentialConfig> ConfigsForPolicy(PolicyKind kind) {
+  std::vector<DifferentialConfig> out;
+  for (DifferentialConfig& config : DefaultConfigs()) {
+    if (config.adaptive.policy == kind) out.push_back(std::move(config));
+  }
+  return out;
 }
 
 std::string FailureReport::ToString() const {

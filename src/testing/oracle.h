@@ -79,6 +79,13 @@ struct DifferentialConfig {
 /// its memoized variants exercise warm-cache epochs across demotion.
 std::vector<DifferentialConfig> DefaultConfigs();
 
+/// The subset of DefaultConfigs() whose AdaptiveOptions select `kind` —
+/// the policy axis of the differential oracle (fuzz_differential
+/// --policy=<name>, CI's per-policy smoke runs). Every subset still
+/// compares against the trusted reference executor, so running the three
+/// subsets asserts all policies agree on the result multiset.
+std::vector<DifferentialConfig> ConfigsForPolicy(PolicyKind kind);
+
 /// The aggressive AdaptiveOptions used by DefaultConfigs (exported for
 /// tests that want maximum switching on their own plans).
 AdaptiveOptions AggressiveAdaptiveOptions();

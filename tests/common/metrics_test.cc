@@ -199,6 +199,45 @@ TEST(MetricsRegistryTest, ExecutorExportsProbeCounters) {
             stats->probe_batches + stats2->probe_batches);
 }
 
+TEST(MetricsRegistryTest, ExecutorExportsPolicyCounters) {
+  // The executor flushes the AdaptationPolicy's decision accounting into
+  // the exec.policy_* counters next to the probe flush: one counter per
+  // PolicyStats field, each equal to the ExecStats copy of that field.
+  Catalog catalog;
+  DmvConfig config;
+  config.num_owners = 500;
+  ASSERT_TRUE(GenerateDmv(&catalog, config).ok());
+  Planner planner(&catalog);
+  auto plan = planner.Plan(DmvQueryGenerator::Example1());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  MetricsRegistry reg;
+  PipelineExecutor exec(plan->get());
+  exec.set_metrics(&reg);
+  auto stats = exec.Execute(nullptr);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  for (const char* name :
+       {"exec.policy_decisions", "exec.policy_reorders", "exec.policy_switches",
+        "exec.policy_regret_x1000"}) {
+    ASSERT_NE(reg.FindCounter(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.FindCounter("exec.policy_decisions")->value(),
+            stats->policy_decisions);
+  EXPECT_EQ(reg.FindCounter("exec.policy_reorders")->value(),
+            stats->policy_reorders);
+  EXPECT_EQ(reg.FindCounter("exec.policy_switches")->value(),
+            stats->policy_switches);
+  EXPECT_EQ(reg.FindCounter("exec.policy_regret_x1000")->value(),
+            stats->policy_regret_x1000);
+  // The default (rank) policy is consulted at every depleted-state check,
+  // so a query that adapted must have recorded decisions.
+  EXPECT_EQ(stats->policy_decisions,
+            stats->inner_checks + stats->driving_checks);
+  // Rank policy reports no regret: it never explores.
+  EXPECT_EQ(stats->policy_regret_x1000, 0u);
+}
+
 TEST(MetricsRegistryTest, ConcurrentGetAndRecord) {
   MetricsRegistry reg;
   constexpr int kThreads = 8;

@@ -10,6 +10,7 @@
 // Usage:
 //   fuzz_differential [--seed N] [--count N] [--duration SECONDS]
 //                     [--jobs N] [--inject none|nopos|dup]
+//                     [--policy rank|regret|static]
 //                     [--expect-failure] [--no-shrink] [--start-seed N]
 //
 //   --seed N          run exactly seed N (replay mode)
@@ -18,6 +19,8 @@
 //   --jobs N          worker threads (default 1)
 //   --inject nopos    disable positional predicates (Sec 4.2 duplicate bug)
 //   --inject dup      emit every output row twice
+//   --policy P        restrict the config spread to one AdaptationPolicy
+//                     (default: the full spread across all policies)
 //   --expect-failure  exit 0 only if a failure IS found (oracle self-test)
 //   --no-shrink       print the raw failing spec without minimizing
 //
@@ -35,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "adaptive/policy.h"
 #include "testing/oracle.h"
 #include "testing/shrinker.h"
 #include "testing/workload_gen.h"
@@ -58,6 +62,7 @@ struct Flags {
   std::optional<double> duration_seconds;
   unsigned jobs = 1;
   std::string inject = "none";
+  std::optional<ajr::PolicyKind> policy;
   bool expect_failure = false;
   bool no_shrink = false;
 };
@@ -101,6 +106,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       if (flags->inject != "none" && flags->inject != "nopos" &&
           flags->inject != "dup") {
         std::fprintf(stderr, "--inject must be none|nopos|dup, got %s\n", v);
+        return false;
+      }
+    } else if (matches(arg, "--policy")) {
+      if ((v = value_of(&i, "--policy", arg)) == nullptr) return false;
+      flags->policy = ajr::ParsePolicyKind(v);
+      if (!flags->policy.has_value()) {
+        std::fprintf(stderr, "--policy must be rank|regret|static, got %s\n", v);
         return false;
       }
     } else if (std::strcmp(arg, "--expect-failure") == 0) {
@@ -162,6 +174,9 @@ int main(int argc, char** argv) {
   faults.double_emit = flags.inject == "dup";
   DifferentialOptions options;
   if (flags.inject != "none") options.faults = &faults;
+  if (flags.policy.has_value()) {
+    options.configs = ajr::testing::ConfigsForPolicy(*flags.policy);
+  }
 
   SharedState shared;
   const auto start = std::chrono::steady_clock::now();
@@ -191,10 +206,13 @@ int main(int argc, char** argv) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  std::printf("fuzz_differential: %llu cases in %.1fs (%.0f cases/s), inject=%s\n",
-              static_cast<unsigned long long>(shared.cases_run.load()), elapsed,
-              shared.cases_run.load() / (elapsed > 0 ? elapsed : 1),
-              flags.inject.c_str());
+  std::printf(
+      "fuzz_differential: %llu cases in %.1fs (%.0f cases/s), inject=%s, "
+      "policy=%s\n",
+      static_cast<unsigned long long>(shared.cases_run.load()), elapsed,
+      shared.cases_run.load() / (elapsed > 0 ? elapsed : 1),
+      flags.inject.c_str(),
+      flags.policy.has_value() ? ajr::PolicyKindName(*flags.policy) : "all");
 
   if (!shared.harness_error.empty()) {
     std::fprintf(stderr, "HARNESS ERROR: %s\n", shared.harness_error.c_str());

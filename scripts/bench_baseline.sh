@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Records the benchmark baselines as BENCH_<name>.json: the row-format
 # microbenchmark, the Fig 7 adaptive-vs-static scatter, the concurrent-
-# runtime throughput harness, and the index-probe (batched descent /
-# memoization) microbenchmark.
+# runtime throughput harness, the index-probe (batched descent /
+# memoization) microbenchmark, and the wide-join repair curve (n=6..20).
 #
 #   scripts/bench_baseline.sh            # writes bench/baselines/BENCH_*.json
 #   scripts/bench_baseline.sh /tmp/perf  # writes elsewhere (e.g. for a CI
@@ -44,6 +44,11 @@ echo
 echo "== baseline: parallel_scaling (reduced scale) =="
 "${BUILD}/bench/parallel_scaling" --owners=20000 --per-template=10 --reps=3 \
   --dops=1,2,4,8 --json="${OUT}/BENCH_parallel_scaling.json"
+
+echo
+echo "== baseline: wide_join (repair curve n=6..20, reduced scale) =="
+"${BUILD}/bench/wide_join" --owners=12000 --per-template=1 --reps=2 \
+  --json="${OUT}/BENCH_wide_join.json"
 
 echo
 echo "baselines written to ${OUT}/"

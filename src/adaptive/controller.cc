@@ -5,25 +5,6 @@
 
 namespace ajr {
 
-namespace {
-
-// Per-incoming-row cost of probing `tail` in order, given `prefix_mask`
-// (Eq 1 restricted to the segment, flow seeded at 1).
-double TailCost(const CostInputs& in, const std::vector<size_t>& tail,
-                uint64_t prefix_mask) {
-  double cost = 0;
-  double flow = 1.0;
-  uint64_t mask = prefix_mask;
-  for (size_t t : tail) {
-    cost += flow * PcAt(in, t, mask);
-    flow *= JcAt(in, t, mask);
-    mask |= uint64_t{1} << t;
-  }
-  return cost;
-}
-
-}  // namespace
-
 std::optional<std::vector<size_t>> CheckInnerReorder(const CostInputs& in,
                                                      const std::vector<size_t>& order,
                                                      size_t from,

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "optimize/greedy_order.h"
+
 namespace ajr {
 
 namespace {
@@ -139,14 +141,43 @@ PolicyDecision RegretBoundedPolicy::Decide(const PolicySnapshot& snapshot) {
 
   if (snapshot.point == DecisionPoint::kInnerDepleted) {
     if (hybrid_) {
-      // Long pipelines: UCB explores driving legs only; inner tails follow
-      // the paper's rank procedure.
-      auto tail = CheckInnerReorder(*snapshot.inputs, order, snapshot.position,
-                                    options_.inner_benefit_epsilon);
-      if (!tail.has_value()) return d;
+      // Long pipelines: UCB explores driving legs only; inner tails pick
+      // the cheapest of a polynomial candidate set — the paper's
+      // greedy-rank tail plus every neighbor swap of the current tail
+      // (O(n) candidates, O(n*E) TailCost each). Deterministic: candidates
+      // are costed in a fixed sequence and must strictly beat the
+      // incumbent, and the whole reorder must clear the epsilon guard.
+      const CostInputs& in = *snapshot.inputs;
+      uint64_t mask = 0;
+      for (size_t i = 0; i < snapshot.position; ++i) {
+        mask |= uint64_t{1} << order[i];
+      }
+      std::vector<size_t> current(order.begin() + snapshot.position,
+                                  order.end());
+      const double current_cost = TailCost(in, current, mask);
+      std::vector<size_t> best_tail = current;
+      double best_cost = current_cost;
+      auto consider = [&](std::vector<size_t> tail) {
+        const double cost = TailCost(in, tail, mask);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_tail = std::move(tail);
+        }
+      };
+      consider(GreedyRankOrder(in, current, mask));
+      for (auto& swapped : NeighborSwapOrders(order, snapshot.position)) {
+        consider(std::vector<size_t>(swapped.begin() + snapshot.position,
+                                     swapped.end()));
+      }
+      if (best_tail == current ||
+          best_cost > (1.0 - options_.inner_benefit_epsilon) * current_cost) {
+        return d;  // near-lateral move: keep the pipeline undisturbed
+      }
       d.action = PolicyDecision::Action::kInnerReorder;
       d.new_order.assign(order.begin(), order.begin() + snapshot.position);
-      d.new_order.insert(d.new_order.end(), tail->begin(), tail->end());
+      d.new_order.insert(d.new_order.end(), best_tail.begin(), best_tail.end());
+      d.est_current = current_cost;
+      d.est_best = best_cost;
       ++stats_.inner_reorders;
       return d;
     }

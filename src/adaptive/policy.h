@@ -181,8 +181,12 @@ class StaticPolicy : public AdaptationPolicy {
 /// Arms: for queries of up to kExhaustiveArmTables tables, every
 /// permutation is an arm (the 3-table convergence test explores all 6).
 /// Above that, one arm per driving leg (inners greedy-rank-ordered at
-/// selection time) and inner-tail decisions fall back to the paper's
-/// rank procedure — UCB over n! arms would explore forever.
+/// selection time) — UCB over n! arms would explore forever. Hybrid
+/// inner-tail decisions cost a polynomial candidate set instead: the
+/// paper's greedy-rank tail plus every adjacent transposition of the
+/// current tail (greedy_order.h's neighbor swaps, which catch the
+/// position-dependent wins on cyclic graphs a pure rank sort misses),
+/// adopting the cheapest tail when it clears inner_benefit_epsilon.
 class RegretBoundedPolicy : public AdaptationPolicy {
  public:
   static constexpr size_t kExhaustiveArmTables = 4;

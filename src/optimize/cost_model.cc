@@ -106,6 +106,19 @@ double PipelineCost(const CostInputs& in, const std::vector<size_t>& order,
   return cost;
 }
 
+double TailCost(const CostInputs& in, const std::vector<size_t>& tail,
+                uint64_t prefix_mask) {
+  double cost = 0;
+  double flow = 1.0;
+  uint64_t mask = prefix_mask;
+  for (size_t t : tail) {
+    cost += flow * PcAt(in, t, mask);
+    flow *= JcAt(in, t, mask);
+    mask |= uint64_t{1} << t;
+  }
+  return cost;
+}
+
 bool IsRankOrdered(const CostInputs& in, const std::vector<size_t>& order,
                    size_t from) {
   assert(from >= 1 && from <= order.size());

@@ -91,4 +91,11 @@ double PipelineCost(const CostInputs& in, const std::vector<size_t>& order,
 bool IsRankOrdered(const CostInputs& in, const std::vector<size_t>& order,
                    size_t from);
 
+/// Eq 1 restricted to a tail segment: per-incoming-row cost of probing
+/// `tail` in order given `prefix_mask` (flow seeded at 1). Fig 2's benefit
+/// comparison and the policy layer's wide-pipeline candidate evaluation
+/// share this.
+double TailCost(const CostInputs& in, const std::vector<size_t>& tail,
+                uint64_t prefix_mask);
+
 }  // namespace ajr

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "optimize/greedy_order.h"
 
 namespace ajr {
 
@@ -91,9 +92,25 @@ StatusOr<std::unique_ptr<PipelinePlan>> Planner::Plan(const JoinQuery& query) co
         re->FindIndexOnColumn(e.right_column);
   }
 
+  CostInputs in = plan->EstimatedCostInputs();
+
+  // Wide queries: skip the per-candidate enumeration and seed with the
+  // cardinality-greedy order — by this width the compounded independence
+  // errors behind the estimates outweigh the enumeration's precision, and
+  // the adaptive run-time owns the repair (DESIGN.md §13).
+  if (n > options_.greedy_seed_threshold) {
+    plan->initial_order = GreedyCardinalityOrder(in);
+    const size_t d = plan->initial_order[0];
+    double raw_entries = plan->access[d].driving.est_slpi *
+                         static_cast<double>(plan->entries[d]->StatsCardinality());
+    double cleg = plan->est_local_sel[d] *
+                  static_cast<double>(plan->entries[d]->StatsCardinality());
+    plan->est_cost = PipelineCost(in, plan->initial_order, raw_entries, cleg);
+    return plan;
+  }
+
   // Pick the driving table: for each candidate, greedy-rank the inners and
   // cost the pipeline with Eq 1; smallest estimated cost wins.
-  CostInputs in = plan->EstimatedCostInputs();
   double best_cost = std::numeric_limits<double>::infinity();
   for (size_t d = 0; d < n; ++d) {
     std::vector<size_t> inners;

@@ -74,6 +74,13 @@ struct PlannerOptions {
   /// Statistics tier the optimizer consults (see selectivity.h). The
   /// paper's Sec 5 baseline is kMinimal; kBase is a modern default.
   StatsTier stats_tier = StatsTier::kBase;
+  /// Queries of up to this many tables pick the driving leg by costing
+  /// every candidate (the paper's regime); wider queries seed with the
+  /// cardinality-greedy order instead (optimize/greedy_order.h) and rely
+  /// on run-time adaptation to repair it. 8 keeps every paper workload —
+  /// 4- and 6-table DMV templates, the <=5-table fuzz default — on the
+  /// exhaustive path byte-for-byte.
+  size_t greedy_seed_threshold = 8;
 };
 
 /// Builds PipelinePlans from JoinQueries against a catalog.
@@ -85,7 +92,7 @@ struct PlannerOptions {
 class Planner {
  public:
   explicit Planner(const Catalog* catalog, PlannerOptions options = {})
-      : catalog_(catalog), estimator_(options.stats_tier) {}
+      : catalog_(catalog), options_(options), estimator_(options.stats_tier) {}
 
   /// Plans `query` (which must Validate()). Fails if a referenced table or
   /// column does not exist.
@@ -95,6 +102,7 @@ class Planner {
 
  private:
   const Catalog* catalog_;
+  PlannerOptions options_;
   SelectivityEstimator estimator_;
 };
 

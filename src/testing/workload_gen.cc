@@ -92,12 +92,23 @@ std::string JoinKeyString(const Value& v) {
   return v.ToString();
 }
 
-// Exact output size of the spanning-tree join (edges [0, n-2], no local
-// predicates): a bottom-up weight DP over the parent tree. Used to keep
-// generated cases within the brute-force reference executor's budget —
-// skewed join keys can otherwise make the multiset blow into the hundreds
-// of millions. Extra (cyclic) edges and predicates only shrink the result,
-// so this is an upper bound for the full query.
+// Re-derives edge_id = position after any edge-list surgery.
+void RenumberEdges(JoinQuery* q) {
+  for (size_t i = 0; i < q->edges.size(); ++i) q->edges[i].edge_id = i;
+}
+
+std::optional<WorkloadSpec> ValidatedOrNull(WorkloadSpec spec) {
+  if (!spec.query.Validate().ok()) return std::nullopt;
+  return spec;
+}
+
+}  // namespace
+
+// A bottom-up weight DP over the parent tree. Used to keep generated cases
+// within the brute-force reference executor's budget — skewed join keys
+// can otherwise make the multiset blow into the hundreds of millions.
+// Extra (cyclic) edges and predicates only shrink the result, so this is
+// an upper bound for the full query.
 double EstimateTreeJoinSize(const std::vector<TableSpec>& tables,
                             const std::vector<JoinEdge>& edges) {
   const size_t n = tables.size();
@@ -131,18 +142,6 @@ double EstimateTreeJoinSize(const std::vector<TableSpec>& tables,
   for (double w : weight[0]) total += w;
   return total;
 }
-
-// Re-derives edge_id = position after any edge-list surgery.
-void RenumberEdges(JoinQuery* q) {
-  for (size_t i = 0; i < q->edges.size(); ++i) q->edges[i].edge_id = i;
-}
-
-std::optional<WorkloadSpec> ValidatedOrNull(WorkloadSpec spec) {
-  if (!spec.query.Validate().ok()) return std::nullopt;
-  return spec;
-}
-
-}  // namespace
 
 StatusOr<std::unique_ptr<Catalog>> WorkloadSpec::Materialize() const {
   auto catalog = std::make_unique<Catalog>();
@@ -203,9 +202,11 @@ WorkloadSpec GenerateWorkload(uint64_t seed, const GeneratorOptions& options) {
   Rng rng(seed);
   WorkloadSpec spec;
   spec.seed = seed;
+  // Clamp to the audited ceiling (see kMaxGeneratorTables): wider asks are
+  // a caller bug, not a supported regime.
+  const size_t max_tables = std::min(options.max_tables, kMaxGeneratorTables);
   const size_t num_tables =
-      options.min_tables +
-      rng.NextUint64(options.max_tables - options.min_tables + 1);
+      options.min_tables + rng.NextUint64(max_tables - options.min_tables + 1);
 
   // Join-key domains are shared across tables so matches are common. The
   // int domain scales with table size to keep reference-executor output
@@ -301,8 +302,7 @@ WorkloadSpec GenerateWorkload(uint64_t seed, const GeneratorOptions& options) {
   // Keep the case inside the reference executor's budget: while the exact
   // (predicate-free) tree-join size exceeds the cap, deterministically
   // drop every other row of the largest table and re-measure.
-  constexpr double kMaxOutputRows = 150000;
-  while (EstimateTreeJoinSize(spec.tables, q.edges) > kMaxOutputRows) {
+  while (EstimateTreeJoinSize(spec.tables, q.edges) > options.max_output_rows) {
     size_t largest = 0;
     for (size_t t = 1; t < num_tables; ++t) {
       if (spec.tables[t].rows.size() > spec.tables[largest].rows.size()) largest = t;

@@ -64,6 +64,11 @@ struct WorkloadSpec {
   size_t TotalRows() const;
 };
 
+/// The generator (and its shrinker/oracle consumers) is audited up to this
+/// many tables; the planner's own ceiling is 64 (uint64_t masks). Wide
+/// profiles may not exceed it.
+inline constexpr size_t kMaxGeneratorTables = 20;
+
 /// Knobs for GenerateWorkload. Defaults keep the reference executor cheap
 /// enough for thousands of cases per minute.
 struct GeneratorOptions {
@@ -75,10 +80,37 @@ struct GeneratorOptions {
   double extra_edge_prob = 0.35;
   /// Probability that a table carries a local predicate.
   double local_predicate_prob = 0.75;
+  /// Cap on the exact (predicate-free) spanning-tree join size: while the
+  /// estimate exceeds it, every other row of the largest table is dropped.
+  /// This is what keeps the brute-force reference executor tractable.
+  double max_output_rows = 150000;
+
+  /// The wide-join axis (ISSUE 8): 6-20 tables of small cardinality with a
+  /// much tighter output cap, so 20-leg pipelines stay inside the
+  /// reference executor's budget across the oracle's ~17-config spread.
+  static GeneratorOptions WideProfile() {
+    GeneratorOptions o;
+    o.min_tables = 6;
+    o.max_tables = kMaxGeneratorTables;
+    o.min_rows = 8;
+    o.max_rows = 44;
+    o.extra_edge_prob = 0.30;
+    o.max_output_rows = 4000;
+    return o;
+  }
 };
 
 /// Deterministically generates the fuzz case for `seed`.
 WorkloadSpec GenerateWorkload(uint64_t seed, const GeneratorOptions& options = {});
+
+/// Exact output size of the spanning-tree join (edges [0, n-2], no local
+/// predicates, extra edges ignored): the bound GenerateWorkload caps with
+/// GeneratorOptions::max_output_rows. Requires the generator's topology
+/// invariant — edge t-1 connects table t to a lower-index parent — which
+/// holds for every generated spec. Exposed so the wide-axis tests can
+/// audit the cap directly.
+double EstimateTreeJoinSize(const std::vector<TableSpec>& tables,
+                            const std::vector<JoinEdge>& edges);
 
 // ---- Structural transforms (the shrinker's moves) ------------------------
 //

@@ -224,6 +224,105 @@ StatusOr<JoinQuery> DmvQueryGenerator::GenerateSixTable(int template_id,
   return q;
 }
 
+StatusOr<JoinQuery> DmvQueryGenerator::GenerateWide(int template_id,
+                                                    size_t num_tables,
+                                                    size_t variant) const {
+  if (template_id < 1 || template_id > kNumWideTemplates) {
+    return Status::InvalidArgument(StrCat("no wide template ", template_id));
+  }
+  if (num_tables < kMinWideTables || num_tables > kMaxWideTables) {
+    return Status::InvalidArgument(
+        StrCat("wide templates span ", kMinWideTables, "..", kMaxWideTables,
+               " tables, got ", num_tables));
+  }
+  AJR_ASSIGN_OR_RETURN(const TableEntry* owner, catalog_->GetTable("owner"));
+  AJR_ASSIGN_OR_RETURN(const TableEntry* acc, catalog_->GetTable("accidents"));
+  AJR_ASSIGN_OR_RETURN(const TableEntry* loc, catalog_->GetTable("location"));
+  Rng rng(seed_ ^ 0x317DE000ULL ^ (static_cast<uint64_t>(template_id) << 40) ^
+          (static_cast<uint64_t>(num_tables) << 24) ^ variant * 0x9e3779b9ULL);
+
+  JoinQuery q = SixTableSkeleton();
+  q.name = StrCat("W", template_id, "n", num_tables, "/q", variant);
+
+  // Shared base filters (the S1 shape): enough selectivity on the paper's
+  // six tables that the pipeline's head flow is modest before the arms.
+  {
+    const Row& owner_row = SampleRow(*owner, &rng);
+    const Row& loc_row = SampleRow(*loc, &rng);
+    int64_t year = 1995 + rng.NextInt64(0, 8);
+    int64_t salary = 40000 + rng.NextInt64(0, 60000);
+    q.local_predicates[0] = ColCmp("country3", CompareOp::kEq, owner_row[3]);
+    q.local_predicates[1] = ColCmp("year", CompareOp::kGe, Value(year));
+    q.local_predicates[2] = ColCmp("salary", CompareOp::kLt, Value(salary));
+    q.local_predicates[4] = ColCmp("state", CompareOp::kEq, loc_row[2]);
+  }
+
+  const size_t extra = num_tables - 6;
+  if (template_id == 1) {
+    // W1 wide star: every extra leg is an accidents alias probed from Car.
+    // Each arm carries its own seriousness+year filter, so the estimated
+    // (and actual) per-arm fan-out sits below 1 and the arms differ enough
+    // in selectivity that their placement order matters — the property the
+    // cardinality-greedy seed and its anti-greedy corruption exercise.
+    for (size_t i = 0; i < extra; ++i) {
+      const size_t idx = q.tables.size();
+      q.tables.push_back({StrCat("a", i + 2), "accidents"});
+      q.edges.push_back({1, "id", idx, "carid", q.edges.size()});
+      const Row& acc_row = SampleRow(*acc, &rng);
+      int64_t serious = 2 + rng.NextInt64(0, 2);
+      q.local_predicates.push_back(
+          And({ColCmp("seriousness", CompareOp::kGe, Value(serious)),
+               ColCmp("year", rng.NextBool() ? CompareOp::kGe : CompareOp::kLe,
+                      acc_row[3])}));
+    }
+  } else {
+    // W2 snowflake: arms of (accidents -> location, time) hung off Car,
+    // with the filters out on the dimension tables — the arm's selectivity
+    // is only visible after two more joins, which is exactly where
+    // independence-based estimates degrade with join count.
+    size_t added = 0;
+    for (size_t arm = 2; added < extra; ++arm) {
+      const size_t a_idx = q.tables.size();
+      q.tables.push_back({StrCat("a", arm), "accidents"});
+      q.edges.push_back({1, "id", a_idx, "carid", q.edges.size()});
+      q.local_predicates.push_back(nullptr);
+      ++added;
+      if (added < extra) {
+        const size_t l_idx = q.tables.size();
+        const Row& loc_row = SampleRow(*loc, &rng);
+        q.tables.push_back({StrCat("l", arm), "location"});
+        q.edges.push_back({a_idx, "locationid", l_idx, "id", q.edges.size()});
+        q.local_predicates.push_back(
+            ColCmp("state", CompareOp::kEq, loc_row[2]));
+        ++added;
+      }
+      if (added < extra) {
+        const size_t t_idx = q.tables.size();
+        const Row& acc_row = SampleRow(*acc, &rng);
+        q.tables.push_back({StrCat("t", arm), "time"});
+        q.edges.push_back({a_idx, "timeid", t_idx, "id", q.edges.size()});
+        q.local_predicates.push_back(
+            ColCmp("year", CompareOp::kGe, acc_row[3]));
+        ++added;
+      }
+    }
+  }
+  AJR_RETURN_IF_ERROR(q.Validate());
+  return q;
+}
+
+StatusOr<std::vector<JoinQuery>> DmvQueryGenerator::GenerateWideMix(
+    size_t num_tables, size_t count) const {
+  std::vector<JoinQuery> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    AJR_ASSIGN_OR_RETURN(
+        JoinQuery q, GenerateWide(1 + static_cast<int>(i % 2), num_tables, i / 2));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
 StatusOr<std::vector<JoinQuery>> DmvQueryGenerator::GenerateSixTableMix(
     size_t count) const {
   std::vector<JoinQuery> out;

@@ -45,6 +45,12 @@ namespace ajr {
 inline constexpr int kNumFourTableTemplates = 5;
 /// Number of distinct 6-table templates (S1, S2).
 inline constexpr int kNumSixTableTemplates = 2;
+/// Number of distinct wide templates (W1 star, W2 snowflake).
+inline constexpr int kNumWideTemplates = 2;
+/// Wide templates span this table-count range (the six-table skeleton plus
+/// at least one extra accident arm, up to the ROADMAP's 20-table target).
+inline constexpr size_t kMinWideTables = 7;
+inline constexpr size_t kMaxWideTables = 20;
 
 /// Generates parameterized queries from the DMV templates.
 class DmvQueryGenerator {
@@ -66,6 +72,23 @@ class DmvQueryGenerator {
 
   /// `count` six-table queries alternating S1/S2 (the paper uses 100).
   StatusOr<std::vector<JoinQuery>> GenerateSixTableMix(size_t count) const;
+
+  /// One instance of wide template `template_id` (1-based) at exactly
+  /// `num_tables` tables in [kMinWideTables, kMaxWideTables]:
+  ///   W1  wide star — the six-table skeleton plus accident aliases all
+  ///       joined to Car, each carrying its own seriousness/year filter so
+  ///       per-arm fan-out stays below 1 and the output bounded;
+  ///   W2  snowflake — extra (accidents -> location, time) arms hung off
+  ///       Car, with state/year predicates on the outer dimensions.
+  /// Tables are appended so each joins an earlier one (the reference
+  /// executor's enumeration order stays tractable). Deterministic per
+  /// (template_id, num_tables, variant, seed).
+  StatusOr<JoinQuery> GenerateWide(int template_id, size_t num_tables,
+                                   size_t variant) const;
+
+  /// `count` wide queries at `num_tables` tables, alternating W1/W2.
+  StatusOr<std::vector<JoinQuery>> GenerateWideMix(size_t num_tables,
+                                                   size_t count) const;
 
   /// The paper's literal Example 1 query.
   static JoinQuery Example1();

@@ -10,10 +10,13 @@
 // Usage:
 //   fuzz_differential [--seed N] [--count N] [--duration SECONDS]
 //                     [--jobs N] [--inject none|nopos|dup]
-//                     [--policy rank|regret|static]
+//                     [--policy rank|regret|static] [--wide]
 //                     [--expect-failure] [--no-shrink] [--start-seed N]
 //
 //   --seed N          run exactly seed N (replay mode)
+//   --wide            generate with GeneratorOptions::WideProfile (6-20
+//                     tables, tight output cap) instead of the default
+//                     2-5 table profile; replay lines carry the flag
 //   --count N         number of cases (default 200; ignored with --duration)
 //   --duration S      keep fuzzing for S seconds of wall clock
 //   --jobs N          worker threads (default 1)
@@ -63,6 +66,7 @@ struct Flags {
   unsigned jobs = 1;
   std::string inject = "none";
   std::optional<ajr::PolicyKind> policy;
+  bool wide = false;
   bool expect_failure = false;
   bool no_shrink = false;
 };
@@ -115,6 +119,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
         std::fprintf(stderr, "--policy must be rank|regret|static, got %s\n", v);
         return false;
       }
+    } else if (std::strcmp(arg, "--wide") == 0) {
+      flags->wide = true;
     } else if (std::strcmp(arg, "--expect-failure") == 0) {
       flags->expect_failure = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -147,7 +153,9 @@ void Worker(const Flags& flags, const DifferentialOptions& options,
     uint64_t seed = shared->next_seed.fetch_add(1, std::memory_order_relaxed);
     if (!flags.duration_seconds.has_value() && seed >= end_seed) return;
 
-    WorkloadSpec spec = GenerateWorkload(seed);
+    WorkloadSpec spec = GenerateWorkload(
+        seed, flags.wide ? ajr::testing::GeneratorOptions::WideProfile()
+                         : ajr::testing::GeneratorOptions{});
     auto outcome = RunDifferential(spec, options);
     shared->cases_run.fetch_add(1, std::memory_order_relaxed);
     if (outcome.ok() && !outcome->has_value()) continue;
@@ -208,11 +216,12 @@ int main(int argc, char** argv) {
           .count();
   std::printf(
       "fuzz_differential: %llu cases in %.1fs (%.0f cases/s), inject=%s, "
-      "policy=%s\n",
+      "policy=%s, profile=%s\n",
       static_cast<unsigned long long>(shared.cases_run.load()), elapsed,
       shared.cases_run.load() / (elapsed > 0 ? elapsed : 1),
       flags.inject.c_str(),
-      flags.policy.has_value() ? ajr::PolicyKindName(*flags.policy) : "all");
+      flags.policy.has_value() ? ajr::PolicyKindName(*flags.policy) : "all",
+      flags.wide ? "wide" : "default");
 
   if (!shared.harness_error.empty()) {
     std::fprintf(stderr, "HARNESS ERROR: %s\n", shared.harness_error.c_str());
@@ -242,8 +251,8 @@ int main(int argc, char** argv) {
     minimal = std::move(shrunk.spec);
   }
   std::printf("\n---- minimal repro ----\n%s", minimal.ToRepro().c_str());
-  std::printf("replay: fuzz_differential --seed %llu --inject %s\n",
+  std::printf("replay: fuzz_differential --seed %llu --inject %s%s\n",
               static_cast<unsigned long long>(shared.failure->seed),
-              flags.inject.c_str());
+              flags.inject.c_str(), flags.wide ? " --wide" : "");
   return flags.expect_failure ? 0 : 1;
 }

@@ -1,0 +1,156 @@
+// Audit of the generator's wide profile (GeneratorOptions::WideProfile)
+// and of the n<=5 assumptions the fuzz stack grew up with: width coverage
+// across 6..20 tables, the output-size cap that keeps the brute-force
+// reference tractable at 20 legs, exactness of EstimateTreeJoinSize as an
+// upper bound on real output, shrinker transforms at high table indices
+// (edge renumbering past the old 5-table ceiling), determinism, and
+// plannability of the widest specs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "exec/reference_executor.h"
+#include "optimize/planner.h"
+#include "testing/workload_gen.h"
+
+namespace ajr {
+namespace {
+
+using ajr::testing::DropEdge;
+using ajr::testing::DropTable;
+using ajr::testing::EstimateTreeJoinSize;
+using ajr::testing::GeneratorOptions;
+using ajr::testing::GenerateWorkload;
+using ajr::testing::kMaxGeneratorTables;
+using ajr::testing::WorkloadSpec;
+
+TEST(WorkloadGenWideTest, WidthsCoverTheFullRange) {
+  const GeneratorOptions wide = GeneratorOptions::WideProfile();
+  std::set<size_t> seen;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    WorkloadSpec spec = GenerateWorkload(seed, wide);
+    ASSERT_GE(spec.tables.size(), wide.min_tables) << "seed " << seed;
+    ASSERT_LE(spec.tables.size(), kMaxGeneratorTables) << "seed " << seed;
+    ASSERT_TRUE(spec.query.Validate().ok()) << "seed " << seed;
+    seen.insert(spec.tables.size());
+  }
+  // 200 seeds must reach both ends of the axis, including genuinely wide
+  // cases — the whole point of the profile.
+  EXPECT_EQ(*seen.begin(), wide.min_tables);
+  EXPECT_EQ(*seen.rbegin(), kMaxGeneratorTables);
+  EXPECT_GE(seen.size(), 12u) << "width histogram has large holes";
+}
+
+TEST(WorkloadGenWideTest, OutputCapIsHonored) {
+  const GeneratorOptions wide = GeneratorOptions::WideProfile();
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    WorkloadSpec spec = GenerateWorkload(seed, wide);
+    const double est = EstimateTreeJoinSize(spec.tables, spec.query.edges);
+    // The cap loop halves the largest table until the estimate fits; the
+    // only escape is the degenerate floor where no table can shrink.
+    size_t largest = 0;
+    for (const auto& t : spec.tables) largest = std::max(largest, t.rows.size());
+    EXPECT_TRUE(est <= wide.max_output_rows || largest <= 2)
+        << "seed " << seed << ": est=" << est << " largest=" << largest;
+  }
+}
+
+TEST(WorkloadGenWideTest, TreeEstimateBoundsRealOutput) {
+  // EstimateTreeJoinSize is exact for the predicate-free spanning tree;
+  // local predicates and extra (cyclic) edges only filter, so the real
+  // result can never exceed it. A handful of seeds through the reference
+  // executor checks the bound end to end.
+  const GeneratorOptions wide = GeneratorOptions::WideProfile();
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    WorkloadSpec spec = GenerateWorkload(seed, wide);
+    auto catalog = spec.Materialize();
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    auto rows = ExecuteReference(**catalog, spec.query);
+    ASSERT_TRUE(rows.ok()) << "seed " << seed << ": " << rows.status();
+    EXPECT_LE(static_cast<double>(rows->size()),
+              EstimateTreeJoinSize(spec.tables, spec.query.edges))
+        << "seed " << seed;
+  }
+}
+
+TEST(WorkloadGenWideTest, ShrinkerTransformsSurviveHighTableIndices) {
+  // Find a genuinely wide spec, then exercise the structural transforms at
+  // indices far beyond the default profile's 5-table ceiling.
+  const GeneratorOptions wide = GeneratorOptions::WideProfile();
+  WorkloadSpec spec;
+  uint64_t seed = 1;
+  for (;; ++seed) {
+    spec = GenerateWorkload(seed, wide);
+    if (spec.tables.size() >= 14) break;
+    ASSERT_LT(seed, 200u) << "no >=14-table spec in the first seeds";
+  }
+  const size_t n = spec.tables.size();
+
+  // Dropping a high-index table renumbers edges and keeps the spec
+  // materializable and valid.
+  for (size_t t : {n - 1, n / 2}) {
+    auto dropped = DropTable(spec, t);
+    if (!dropped.has_value()) continue;  // drop may disconnect — that's legal
+    ASSERT_EQ(dropped->tables.size(), n - 1);
+    ASSERT_TRUE(dropped->query.Validate().ok()) << "dropping table " << t;
+    for (const auto& e : dropped->query.edges) {
+      EXPECT_LT(e.left, n - 1);
+      EXPECT_LT(e.right, n - 1);
+    }
+    EXPECT_TRUE(dropped->Materialize().ok());
+  }
+  // At least one of the last two tables must be droppable in a tree-plus-
+  // extra-edges topology (a leaf always is).
+  EXPECT_TRUE(DropTable(spec, n - 1).has_value() ||
+              DropTable(spec, n - 2).has_value());
+
+  // Dropping a spanning-tree edge disconnects the graph unless an extra
+  // edge covers it; DropEdge must refuse exactly the disconnecting drops.
+  for (size_t e = 0; e < spec.query.edges.size(); ++e) {
+    auto dropped = DropEdge(spec, e);
+    if (!dropped.has_value()) continue;
+    ASSERT_TRUE(dropped->query.Validate().ok()) << "dropping edge " << e;
+    EXPECT_EQ(dropped->query.edges.size(), spec.query.edges.size() - 1);
+  }
+  // Extra (cyclic) edges beyond the spanning tree are always droppable.
+  for (size_t e = n - 1; e < spec.query.edges.size(); ++e) {
+    EXPECT_TRUE(DropEdge(spec, e).has_value()) << "extra edge " << e;
+  }
+}
+
+TEST(WorkloadGenWideTest, WideGenerationIsDeterministic) {
+  const GeneratorOptions wide = GeneratorOptions::WideProfile();
+  for (uint64_t seed : {3u, 57u, 131u}) {
+    WorkloadSpec a = GenerateWorkload(seed, wide);
+    WorkloadSpec b = GenerateWorkload(seed, wide);
+    EXPECT_EQ(a.ToRepro(), b.ToRepro()) << "seed " << seed;
+  }
+}
+
+TEST(WorkloadGenWideTest, WidestSpecsPlanThroughTheGreedySeed) {
+  // 20-table specs must materialize and plan; above the enumeration
+  // threshold the initial order is the greedy seed and must be a
+  // permutation of all legs.
+  const GeneratorOptions wide = GeneratorOptions::WideProfile();
+  WorkloadSpec spec;
+  uint64_t seed = 1;
+  for (;; ++seed) {
+    spec = GenerateWorkload(seed, wide);
+    if (spec.tables.size() == kMaxGeneratorTables) break;
+    ASSERT_LT(seed, 400u) << "no 20-table spec in the first seeds";
+  }
+  auto catalog = spec.Materialize();
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  Planner planner(catalog->get());
+  auto plan = planner.Plan(spec.query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::vector<size_t> order = (*plan)->initial_order;
+  std::sort(order.begin(), order.end());
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(order.size(), kMaxGeneratorTables);
+}
+
+}  // namespace
+}  // namespace ajr

@@ -1,5 +1,6 @@
 // Index-probe microbench: per-row B+-tree descent vs hinted (batched)
-// descent vs hinted descent + probe memoization.
+// descent vs hinted descent + probe memoization — plus a backend race of
+// the two Index implementations (B+-tree vs ART) over the same streams.
 //
 // Every side runs the SAME probe-key sequence against the SAME tree and
 // collects the same matched RIDs; the only difference is the probe
@@ -10,13 +11,22 @@
 // are asserted identical across sides — the paths are interchangeable for
 // accounting by construction, and this bench proves it on real key streams.
 //
+// The backend race drives both backends through the abstract Index
+// interface (storage/index.h): Probe (fresh descent) and ProbeHinted
+// (stateful resume), memoization off. ArtIndex charges canonical B+-tree
+// work units, so work totals are asserted bit-identical across backends —
+// only the wall clock is allowed to differ. Range probes stay B+-tree-only:
+// ART does not expose SupportsRangeScan, and the executor falls back.
+//
 // Key sequences: sorted (ascending), uniform random, and a Zipf hot-key mix
 // (hot items scattered over the key space through a random permutation, so
 // locality comes only from repetition, not from clustering). Range probes
 // (seek + bounded scan) run sorted and random, per-row vs hinted.
 //
 // Acceptance: the memoized path must reach >= 1.5x probe throughput over
-// the per-row baseline on the Zipf workload.
+// the per-row baseline on the Zipf workload, and the ART backend must
+// reach >= 1.5x over the B+-tree backend on both the random and Zipf
+// point workloads (same interface path, memoization off).
 //
 // Flags: --entries=N --dup=D --probes=N --span=N --cache=N --zipf-s=S
 //        --iters=N --seed=N --json[=PATH]
@@ -30,8 +40,10 @@
 #include "bench/harness_util.h"
 #include "common/random.h"
 #include "exec/probe_cache.h"
+#include "storage/art_index.h"
 #include "storage/bplus_tree.h"
 #include "storage/cursors.h"
+#include "storage/index.h"
 #include "storage/key_codec.h"
 
 using namespace ajr;
@@ -231,6 +243,40 @@ int main(int argc, char** argv) {
     out->Take(Seconds(t0), wc, sum, n);
   };
 
+  // Backend race: the same streams through the abstract Index interface,
+  // fresh descent per key (what a per-row executor leg pays) and hinted
+  // stateful descent (what a batched leg pays). Memoization off.
+  std::unique_ptr<ArtIndex> art = ArtIndex::BuildFromTree(tree);
+  auto iface_point = [&](const Index& idx, const std::vector<int64_t>& keys,
+                         SideResult* out) {
+    auto t0 = std::chrono::steady_clock::now();
+    WorkCounter wc;
+    uint64_t sum = 0, n = 0;
+    std::vector<Rid> buf;
+    for (int64_t k : keys) {
+      buf.clear();
+      idx.Probe(IndexKey::Int64(k), &wc, &buf);
+      for (Rid r : buf) sum += r;
+      n += buf.size();
+    }
+    out->Take(Seconds(t0), wc, sum, n);
+  };
+  auto iface_hinted = [&](const Index& idx, const std::vector<int64_t>& keys,
+                          SideResult* out) {
+    auto t0 = std::chrono::steady_clock::now();
+    WorkCounter wc;
+    uint64_t sum = 0, n = 0;
+    std::unique_ptr<Index::ProbeState> state = idx.NewProbeState();
+    std::vector<Rid> buf;
+    for (int64_t k : keys) {
+      buf.clear();
+      idx.ProbeHinted(IndexKey::Int64(k), state.get(), &wc, &buf);
+      for (Rid r : buf) sum += r;
+      n += buf.size();
+    }
+    out->Take(Seconds(t0), wc, sum, n);
+  };
+
   struct Workload {
     const char* name;
     const std::vector<int64_t>* keys;
@@ -242,6 +288,7 @@ int main(int argc, char** argv) {
                                   {"range/random", &random_keys}};
 
   SideResult pr[3], hi[3], me[3], rpr[2], rhi[2];
+  SideResult bt_pr[3], bt_hi[3], ar_pr[3], ar_hi[3];
   // Interleave all sides every iteration so frequency drift and cache
   // warmth hit them equally; keep each side's best time.
   for (size_t it = 0; it < iters; ++it) {
@@ -249,6 +296,10 @@ int main(int argc, char** argv) {
       point_perrow(*point_loads[w].keys, &pr[w]);
       point_hinted(*point_loads[w].keys, &hi[w]);
       point_memo(*point_loads[w].keys, &me[w]);
+      iface_point(tree, *point_loads[w].keys, &bt_pr[w]);
+      iface_point(*art, *point_loads[w].keys, &ar_pr[w]);
+      iface_hinted(tree, *point_loads[w].keys, &bt_hi[w]);
+      iface_hinted(*art, *point_loads[w].keys, &ar_hi[w]);
     }
     for (size_t w = 0; w < 2; ++w) {
       range_scan(*range_loads[w].keys, false, &rpr[w]);
@@ -260,6 +311,13 @@ int main(int argc, char** argv) {
   for (size_t w = 0; w < 3; ++w) {
     ok = CheckAgree(point_loads[w].name, pr[w], hi[w]) && ok;
     ok = CheckAgree(point_loads[w].name, pr[w], me[w]) && ok;
+    // Backend parity: the abstract-interface sides must match the legacy
+    // cursor path AND each other — RIDs, match counts, and work units are
+    // bit-identical across backends by the canonical charge model.
+    ok = CheckAgree(point_loads[w].name, pr[w], bt_pr[w]) && ok;
+    ok = CheckAgree(point_loads[w].name, bt_pr[w], ar_pr[w]) && ok;
+    ok = CheckAgree(point_loads[w].name, bt_pr[w], bt_hi[w]) && ok;
+    ok = CheckAgree(point_loads[w].name, bt_pr[w], ar_hi[w]) && ok;
   }
   for (size_t w = 0; w < 2; ++w) {
     ok = CheckAgree(range_loads[w].name, rpr[w], rhi[w]) && ok;
@@ -288,6 +346,25 @@ int main(int argc, char** argv) {
               zipf_speedup, zipf_speedup >= 1.5 ? "ok" : "below target");
   std::printf("  work units & match checksums identical across all sides\n");
 
+  const double art_random_speedup = Mps(ar_pr[1], probes) / Mps(bt_pr[1], probes);
+  const double art_zipf_speedup = Mps(ar_pr[2], probes) / Mps(bt_pr[2], probes);
+  std::printf("\n== Backend race: B+-tree vs ART (Index interface, memo off) ==\n");
+  std::printf("%-14s %12s %12s %9s %12s %12s %9s\n", "workload", "btree Mp/s",
+              "art Mp/s", "art x", "bt-hint Mp/s", "art-hint Mp/s", "hint x");
+  for (size_t w = 0; w < 3; ++w) {
+    std::printf("%-14s %12.2f %12.2f %8.2fx %12.2f %12.2f %8.2fx\n",
+                point_loads[w].name, Mps(bt_pr[w], probes), Mps(ar_pr[w], probes),
+                Mps(ar_pr[w], probes) / Mps(bt_pr[w], probes),
+                Mps(bt_hi[w], probes), Mps(ar_hi[w], probes),
+                Mps(ar_hi[w], probes) / Mps(bt_hi[w], probes));
+  }
+  std::printf("\n  art random speedup: %.2fx  (target >= 1.50x)  [%s]\n",
+              art_random_speedup,
+              art_random_speedup >= 1.5 ? "ok" : "below target");
+  std::printf("  art zipf speedup  : %.2fx  (target >= 1.50x)  [%s]\n",
+              art_zipf_speedup, art_zipf_speedup >= 1.5 ? "ok" : "below target");
+  std::printf("  work units identical across backends (canonical charging)\n");
+
   JsonReport report("index_probe", flags);
   const char* names[] = {"point_sorted", "point_random", "point_zipf"};
   for (size_t w = 0; w < 3; ++w) {
@@ -301,5 +378,15 @@ int main(int argc, char** argv) {
     report.AddMetric(std::string(rnames[w]) + "_hinted_mps", Mps(rhi[w], probes));
   }
   report.AddMetric("zipf_memo_speedup", zipf_speedup);
+  for (size_t w = 0; w < 3; ++w) {
+    report.AddMetric(std::string(names[w]) + "_btree_mps", Mps(bt_pr[w], probes));
+    report.AddMetric(std::string(names[w]) + "_art_mps", Mps(ar_pr[w], probes));
+    report.AddMetric(std::string(names[w]) + "_btree_hinted_mps",
+                     Mps(bt_hi[w], probes));
+    report.AddMetric(std::string(names[w]) + "_art_hinted_mps",
+                     Mps(ar_hi[w], probes));
+  }
+  report.AddMetric("art_random_speedup", art_random_speedup);
+  report.AddMetric("art_zipf_speedup", art_zipf_speedup);
   return 0;
 }

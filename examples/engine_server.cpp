@@ -1,6 +1,7 @@
 // Engine server demo: the concurrent query runtime end to end.
 //
 //   $ ./build/examples/engine_server [--dop=N] [--policy=rank|regret|static]
+//                                    [--index=btree|art]
 //
 // Builds a small DMV database, starts a QueryEngine with four workers, and
 // plays a short serving scenario: a burst of template queries answered
@@ -19,6 +20,7 @@
 #include <thread>
 
 #include "adaptive/policy.h"
+#include "storage/index.h"
 #include "common/metrics.h"
 #include "runtime/query_engine.h"
 #include "workload/dmv.h"
@@ -28,7 +30,7 @@ using namespace ajr;
 
 namespace {
 
-Status Run(size_t dop, PolicyKind policy) {
+Status Run(size_t dop, PolicyKind policy, IndexBackend backend) {
   // 1. Build phase: load the catalog before serving (the engine's
   //    thread-safety contract: no catalog writes while queries run).
   std::printf("loading DMV data set...\n");
@@ -47,8 +49,9 @@ Status Run(size_t dop, PolicyKind policy) {
 
   // 3. A burst of concurrent queries: two instances of each template.
   std::printf("serving a burst of 10 template queries on %zu workers"
-              " (intra-query dop=%zu, policy=%s)...\n",
-              engine.num_workers(), dop, PolicyKindName(policy));
+              " (intra-query dop=%zu, policy=%s, index=%s)...\n",
+              engine.num_workers(), dop, PolicyKindName(policy),
+              IndexBackendName(backend));
   std::vector<QueryHandle> burst;
   for (int template_id = 1; template_id <= kNumFourTableTemplates; ++template_id) {
     for (size_t variant = 0; variant < 2; ++variant) {
@@ -56,6 +59,7 @@ Status Run(size_t dop, PolicyKind policy) {
       QuerySpec spec;
       spec.query = std::move(q);
       spec.adaptive.policy = policy;
+      spec.adaptive.index_backend = backend;
       spec.dop = dop;
       AJR_ASSIGN_OR_RETURN(QueryHandle h, engine.Submit(std::move(spec)));
       burst.push_back(std::move(h));
@@ -74,6 +78,7 @@ Status Run(size_t dop, PolicyKind policy) {
   QuerySpec cancel_spec;
   cancel_spec.query = std::move(cancel_me);
   cancel_spec.adaptive.policy = policy;
+  cancel_spec.adaptive.index_backend = backend;
   AJR_ASSIGN_OR_RETURN(QueryHandle cancelled, engine.Submit(std::move(cancel_spec)));
   cancelled.Cancel();
   std::printf("cancelled query  -> %s\n",
@@ -85,6 +90,7 @@ Status Run(size_t dop, PolicyKind policy) {
   QuerySpec deadline_spec;
   deadline_spec.query = std::move(slow);
   deadline_spec.adaptive.policy = policy;
+  deadline_spec.adaptive.index_backend = backend;
   deadline_spec.timeout = std::chrono::milliseconds(0);
   AJR_ASSIGN_OR_RETURN(QueryHandle timed_out, engine.Submit(std::move(deadline_spec)));
   std::printf("deadline query   -> %s\n",
@@ -104,9 +110,9 @@ Status Run(size_t dop, PolicyKind policy) {
   uint64_t misses = counter("exec.probe_cache_misses");
   uint64_t keys = counter("exec.probe_batch_keys");
   uint64_t saved = counter("exec.probe_descents_saved");
-  std::printf("\nprobe path: %llu batch keys, cache hit rate %.1f%%, "
+  std::printf("\nprobe path [%s]: %llu batch keys, cache hit rate %.1f%%, "
               "%.1f%% of descents avoided\n",
-              (unsigned long long)keys,
+              IndexBackendName(backend), (unsigned long long)keys,
               hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0,
               keys > 0 ? 100.0 * saved / keys : 0.0);
 
@@ -143,6 +149,7 @@ Status Run(size_t dop, PolicyKind policy) {
 int main(int argc, char** argv) {
   size_t dop = 1;
   PolicyKind policy = PolicyKind::kRank;
+  IndexBackend backend = IndexBackend::kBTree;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dop=", 6) == 0) {
       dop = static_cast<size_t>(std::strtoull(argv[i] + 6, nullptr, 10));
@@ -155,15 +162,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       policy = *parsed;
+    } else if (std::strncmp(argv[i], "--index=", 8) == 0) {
+      auto parsed = ParseIndexBackend(argv[i] + 8);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "unknown index backend: %s (btree|art)\n",
+                     argv[i] + 8);
+        return 2;
+      }
+      backend = *parsed;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s (usage: %s [--dop=N]"
-                   " [--policy=rank|regret|static])\n",
+                   " [--policy=rank|regret|static] [--index=btree|art])\n",
                    argv[i], argv[0]);
       return 2;
     }
   }
-  Status status = Run(dop, policy);
+  Status status = Run(dop, policy, backend);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

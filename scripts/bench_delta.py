@@ -14,9 +14,10 @@ shared-runner wall clocks are noisy — the exit code is for humans running
 the comparison on quiet hardware, and for the job-summary table this
 script appends to $GITHUB_STEP_SUMMARY when that variable is set.
 
-Harness provenance (git_sha, build_type, dop, policy) is stamped into
-each file by bench/harness_util; comparing across different build types,
-dops, or adaptation policies is reported as a warning because such deltas
+Harness provenance (git_sha, build_type, dop, policy, backend) is stamped
+into each file by bench/harness_util; comparing across different build
+types, dops, adaptation policies, or index backends is reported as a
+warning because such deltas
 measure the configuration, not the code. When either side of a comparison
 carries the `speedups_not_meaningful` marker (bench/parallel_scaling sets
 it on hardware_concurrency=1 machines, mirroring its WARNING line), all
@@ -64,7 +65,8 @@ def classify(name):
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    meta = {k: doc.get(k) for k in ("git_sha", "build_type", "dop", "policy")}
+    meta = {k: doc.get(k)
+            for k in ("git_sha", "build_type", "dop", "policy", "backend")}
     return {m["name"]: m["value"] for m in doc.get("metrics", [])}, meta
 
 
@@ -120,7 +122,7 @@ def main():
             continue
         fresh, fmeta = load(os.path.join(fresh_dir, name))
         base, bmeta = load(base_path)
-        for key in ("build_type", "dop", "policy"):
+        for key in ("build_type", "dop", "policy", "backend"):
             if bmeta.get(key) is not None and fmeta.get(key) is not None \
                     and bmeta[key] != fmeta[key]:
                 print(f"  WARNING: {key} differs "

@@ -65,12 +65,15 @@ cmake --build "${BUILD_TSAN}" -j "${JOBS}" --target engine_stress_test \
 ctest --test-dir "${BUILD_TSAN}" -L stress --output-on-failure
 
 echo
-echo "== fuzz under AddressSanitizer (${BUILD_ASAN}) =="
+echo "== fuzz + ART properties under AddressSanitizer (${BUILD_ASAN}) =="
 cmake -B "${BUILD_ASAN}" -S "${ROOT}" -DAJR_SANITIZE=address >/dev/null
-cmake --build "${BUILD_ASAN}" -j "${JOBS}" --target fuzz_smoke_test fuzz_differential
+cmake --build "${BUILD_ASAN}" -j "${JOBS}" --target fuzz_smoke_test \
+  fuzz_differential art_index_test
+"${BUILD_ASAN}/tests/art_index_test" --gtest_brief=1
 "${BUILD_ASAN}/tests/fuzz_smoke_test" --gtest_brief=1
 "${BUILD_ASAN}/tests/fuzz_differential" --count 100 --jobs "${JOBS}"
 "${BUILD_ASAN}/tests/fuzz_differential" --count 40 --wide --jobs "${JOBS}"
+"${BUILD_ASAN}/tests/fuzz_differential" --count 60 --index art --jobs "${JOBS}"
 
 echo
 echo "all checks OK"

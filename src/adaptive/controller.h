@@ -16,6 +16,7 @@
 
 #include "adaptive/monitor.h"
 #include "optimize/cost_model.h"
+#include "storage/index.h"
 
 namespace ajr {
 
@@ -82,6 +83,12 @@ struct AdaptiveOptions {
   /// kStatic forces both reorder capabilities off regardless of the
   /// reorder_* flags above; kRank and kRegret honor them.
   PolicyKind policy = PolicyKind::kRank;
+  /// Which physical index structure serves point probes (storage/index.h).
+  /// Legs that need range scans or positional predicates — driving scans,
+  /// remaining-cardinality statistics, post-reorder resume — transparently
+  /// stay on the B+-tree; work units and adaptation traces are
+  /// bit-identical across backends by the Index charge contract.
+  IndexBackend index_backend = IndexBackend::kBTree;
   static constexpr uint64_t kMaxBackoff = 16;
 };
 

@@ -257,10 +257,14 @@ void PipelineExecutor::ProbeLeg(size_t level) {
     // string keys borrow bytes from the other table's pool (stable storage).
     IndexKey key = EncodeKeyFromCell(current_rows_[other],
                                      legs_[other].edge_col[leg.probe_edge]);
-    IndexProbe probe(probe_index->tree.get());
-    probe.Seek(key, &wc_);
-    Rid rid;
-    while (probe.Next(&wc_, &rid)) {
+    // Point probes go through the selected backend (B+-tree or ART); the
+    // Index charge contract keeps work units identical either way. The
+    // positional-predicate filter runs below on fetched rows, so live
+    // prefixes need no index-side positional support.
+    const Index* pidx = probe_index->ProbeIndex(options_.index_backend);
+    leg.probe_scratch.clear();
+    pidx->Probe(key, &wc_, &leg.probe_scratch);
+    for (Rid rid : leg.probe_scratch) {
       RowView row = leg.entry->table().Fetch(rid, &wc_);
       fetched += 1;
       consider(rid, row, /*probe_edge_known_to_match=*/true);
@@ -374,9 +378,13 @@ void PipelineExecutor::FillProbeBatch(size_t level, const IndexInfo* probe_index
   stats_.probe_batches += 1;
   stats_.probe_batch_keys += leg.batch_len;
 
-  // (Re)target the per-leg probe machinery at the current probe index.
-  const BPlusTree* tree = probe_index->tree.get();
-  if (!leg.hinted.has_value() || leg.hinted->tree() != tree) leg.hinted.emplace(tree);
+  // (Re)target the per-leg probe machinery at the current probe index
+  // through the selected backend.
+  const Index* pidx = probe_index->ProbeIndex(options_.index_backend);
+  if (leg.probe_target != pidx) {
+    leg.probe_target = pidx;
+    leg.probe_state = pidx->NewProbeState();
+  }
   const bool cache_on = options_.probe_cache_entries > 0;
   if (cache_on && leg.cache == nullptr) {
     leg.cache = std::make_unique<ProbeCache>(options_.probe_cache_entries);
@@ -416,9 +424,12 @@ void PipelineExecutor::FillProbeBatch(size_t level, const IndexInfo* probe_index
       stats_.probe_cache_misses += 1;
     }
     WorkCounter lwc;
-    if (leg.hinted->Seek(bp.key, &lwc)) stats_.probe_descents_saved += 1;
-    Rid rid;
-    while (leg.hinted->Next(&lwc, &rid)) {
+    leg.probe_scratch.clear();
+    if (pidx->ProbeHinted(bp.key, leg.probe_state.get(), &lwc,
+                          &leg.probe_scratch)) {
+      stats_.probe_descents_saved += 1;
+    }
+    for (Rid rid : leg.probe_scratch) {
       RowView row = leg.entry->table().Fetch(rid, &lwc);
       bp.fetched += 1;
       // The sole applicable edge is the probe edge (known to match), so

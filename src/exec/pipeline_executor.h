@@ -226,8 +226,13 @@ class PipelineExecutor {
     size_t batch_pos = 0;
     /// Scratch for the fill-time key sort (reused across fills).
     std::vector<uint32_t> batch_by_key;
-    /// Hint-carrying probe over the current probe index (rebuilt on change).
-    std::optional<HintedIndexProbe> hinted;
+    /// Point-probe backend serving this leg (selected via
+    /// AdaptiveOptions::index_backend through IndexInfo::ProbeIndex) plus
+    /// its descent memory; both rebuilt when the target index changes.
+    const Index* probe_target = nullptr;
+    std::unique_ptr<Index::ProbeState> probe_state;
+    /// RID scratch for interface probes (reused, no steady-state allocs).
+    std::vector<Rid> probe_scratch;
     /// Memoized probe results for hot keys; lazily built, epoch-tagged so a
     /// demotion's positional predicate retires every earlier entry.
     std::unique_ptr<ProbeCache> cache;

@@ -1,0 +1,673 @@
+#include "storage/art_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace ajr {
+
+namespace {
+
+// Appends the escaped, terminated byte image of a string key: 0x00 escapes
+// to {0x00, 0xFF}, then a {0x00, 0x00} terminator. Order-preserving and
+// prefix-free (the terminator cannot collide with any escaped interior).
+void AppendEscapedString(std::string_view s, std::vector<uint8_t>* out) {
+  for (unsigned char c : s) {
+    out->push_back(c);
+    if (c == 0x00) out->push_back(0xFF);
+  }
+  out->push_back(0x00);
+  out->push_back(0x00);
+}
+
+// Appends the 8-byte big-endian image of an order encoding, so byte order
+// equals encoding order.
+void AppendBigEndian64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+/// Descent memory for ArtIndex::ProbeHinted: the group the previous probe
+/// landed at (its key <= the previous probe key), so sorted batches resolve
+/// by walking a few groups forward instead of descending the radix tree.
+class ArtProbeState final : public Index::ProbeState {
+ public:
+  void Reset() override { valid = false; }
+  bool valid = false;
+  uint32_t group = 0;
+};
+
+}  // namespace
+
+ArtIndex::~ArtIndex() = default;
+
+std::unique_ptr<ArtIndex> ArtIndex::BuildFromTree(const BPlusTree& tree) {
+  std::unique_ptr<ArtIndex> art(new ArtIndex());
+  art->key_type_ = tree.key_type();
+  art->size_ = tree.size();
+  art->height_ = tree.height();
+  art->pool_ = tree.pool();
+
+  // Capture the sibling's canonical leaf shape for the charge model.
+  // Bulk-loaded trees pack every leaf but the last to the same size, so
+  // leaf-start ordinals are multiples of per_leaf_; insert-built trees keep
+  // the explicit start list.
+  std::vector<size_t> sizes = tree.LeafSizes();
+  bool uniform = !sizes.empty() && sizes.back() <= sizes.front();
+  for (size_t i = 0; i + 1 < sizes.size() && uniform; ++i) {
+    uniform = sizes[i] == sizes.front();
+  }
+  if (sizes.empty()) {
+    art->per_leaf_ = 1;
+  } else if (uniform) {
+    art->per_leaf_ = sizes.front();
+  } else {
+    art->leaf_start_.reserve(sizes.size());
+    size_t acc = 0;
+    for (size_t s : sizes) {
+      art->leaf_start_.push_back(acc);
+      acc += s;
+    }
+  }
+
+  // Flatten the tree's entries into (distinct key, RID span) groups.
+  art->rids_.reserve(art->size_);
+  for (auto it = tree.SeekFirst(nullptr); it.Valid(); it.Next(nullptr)) {
+    uint64_t slot = it.key_slot();
+    bool new_group = art->group_slot_.empty();
+    if (!new_group && slot != art->group_slot_.back()) {
+      // Distinct slots imply distinct keys for every type: numeric slots
+      // are the order encoding itself, and one pool never interns the same
+      // bytes under two ids. Compare through the pool anyway for strings —
+      // it is cheap at build time and robust to future pool changes.
+      new_group =
+          art->key_type_ != DataType::kString ||
+          art->pool_->Compare(static_cast<uint32_t>(art->group_slot_.back()),
+                              static_cast<uint32_t>(slot)) != 0;
+    }
+    if (new_group) {
+      art->group_start_.push_back(static_cast<uint32_t>(art->rids_.size()));
+      art->group_slot_.push_back(slot);
+    }
+    art->rids_.push_back(it.rid());
+  }
+  art->group_start_.push_back(static_cast<uint32_t>(art->rids_.size()));
+
+  // Materialize every group's escaped byte image into one arena; node
+  // prefixes are spans of it.
+  art->group_key_off_.reserve(art->group_slot_.size() + 1);
+  art->group_key_off_.push_back(0);
+  for (uint64_t slot : art->group_slot_) {
+    if (art->key_type_ == DataType::kString) {
+      AppendEscapedString(art->pool_->Get(static_cast<uint32_t>(slot)),
+                          &art->key_bytes_);
+    } else {
+      AppendBigEndian64(slot, &art->key_bytes_);
+    }
+    art->group_key_off_.push_back(static_cast<uint32_t>(art->key_bytes_.size()));
+  }
+
+  if (!art->group_slot_.empty()) {
+    art->root_ =
+        art->BuildRange(0, static_cast<uint32_t>(art->group_slot_.size()), 0);
+  }
+  return art;
+}
+
+ArtIndex::Ref ArtIndex::BuildRange(uint32_t lo, uint32_t hi, size_t depth) {
+  AJR_CHECK(lo < hi);
+  if (hi - lo == 1) return MakeRef(kTagLeaf, lo);
+
+  const uint8_t* arena = key_bytes_.data();
+  const uint8_t* first = arena + group_key_off_[lo] + depth;
+  const uint8_t* last = arena + group_key_off_[hi - 1] + depth;
+  size_t first_len = group_key_off_[lo + 1] - group_key_off_[lo] - depth;
+  size_t last_len = group_key_off_[hi] - group_key_off_[hi - 1] - depth;
+  // Keys are sorted, so lcp(first, last) is the lcp of the whole range.
+  size_t max_lcp = std::min(first_len, last_len);
+  size_t lcp = 0;
+  while (lcp < max_lcp && first[lcp] == last[lcp]) ++lcp;
+  // Prefix-free keys cannot end inside a shared prefix of >= 2 keys.
+  AJR_CHECK(lcp < max_lcp);
+  size_t branch_depth = depth + lcp;
+
+  // Partition [lo, hi) by the byte at branch_depth and build children.
+  struct Part {
+    uint8_t byte;
+    uint32_t lo, hi;
+  };
+  std::vector<Part> parts;
+  uint32_t g = lo;
+  while (g < hi) {
+    uint8_t b = arena[group_key_off_[g] + branch_depth];
+    uint32_t start = g;
+    while (g < hi && arena[group_key_off_[g] + branch_depth] == b) ++g;
+    parts.push_back({b, start, g});
+  }
+  AJR_CHECK(parts.size() >= 2);
+  std::vector<Ref> child_refs(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    child_refs[i] = BuildRange(parts[i].lo, parts[i].hi, branch_depth + 1);
+  }
+
+  NodeHeader h;
+  h.prefix_off = static_cast<uint32_t>(group_key_off_[lo] + depth);
+  h.prefix_len = static_cast<uint32_t>(lcp);
+  h.first_group = lo;
+  h.last_group = hi - 1;
+
+  size_t n = parts.size();
+  if (n <= 4) {
+    Node4 nd;
+    nd.h = h;
+    nd.count = static_cast<uint8_t>(n);
+    for (size_t i = 0; i < n; ++i) {
+      nd.keys[i] = parts[i].byte;
+      nd.children[i] = child_refs[i];
+    }
+    node4_.push_back(nd);
+    return MakeRef(kTagNode4, static_cast<uint32_t>(node4_.size() - 1));
+  }
+  if (n <= 16) {
+    Node16 nd;
+    nd.h = h;
+    nd.count = static_cast<uint8_t>(n);
+    for (size_t i = 0; i < n; ++i) {
+      nd.keys[i] = parts[i].byte;
+      nd.children[i] = child_refs[i];
+    }
+    node16_.push_back(nd);
+    return MakeRef(kTagNode16, static_cast<uint32_t>(node16_.size() - 1));
+  }
+  if (n <= 48) {
+    Node48 nd;
+    nd.h = h;
+    std::memset(nd.child_index, 0xFF, sizeof(nd.child_index));
+    nd.count = static_cast<uint8_t>(n);
+    for (size_t i = 0; i < n; ++i) {
+      nd.child_index[parts[i].byte] = static_cast<uint8_t>(i);
+      nd.children[i] = child_refs[i];
+    }
+    node48_.push_back(nd);
+    return MakeRef(kTagNode48, static_cast<uint32_t>(node48_.size() - 1));
+  }
+  Node256 nd;
+  nd.h = h;
+  nd.count = static_cast<uint16_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    nd.children[parts[i].byte] = child_refs[i];
+  }
+  node256_.push_back(nd);
+  return MakeRef(kTagNode256, static_cast<uint32_t>(node256_.size() - 1));
+}
+
+const ArtIndex::NodeHeader& ArtIndex::HeaderOf(Ref r) const {
+  switch (RefTag(r)) {
+    case kTagNode4:
+      return node4_[RefPayload(r)].h;
+    case kTagNode16:
+      return node16_[RefPayload(r)].h;
+    case kTagNode48:
+      return node48_[RefPayload(r)].h;
+    case kTagNode256:
+      return node256_[RefPayload(r)].h;
+  }
+  CheckFailed("unreachable Ref tag in HeaderOf", __FILE__, __LINE__);
+}
+
+uint32_t ArtIndex::LastGroupOf(Ref r) const {
+  if (RefTag(r) == kTagLeaf) return RefPayload(r);
+  return HeaderOf(r).last_group;
+}
+
+int ArtIndex::CompareToGroup(const IndexKey& key, size_t g) const {
+  uint64_t stored = group_slot_[g];
+  if (key_type_ != DataType::kString) {
+    return key.enc < stored ? -1 : (key.enc > stored ? 1 : 0);
+  }
+  int c = key.str.compare(pool_->Get(static_cast<uint32_t>(stored)));
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+ArtIndex::Descent ArtIndex::Descend(const IndexKey& key, const uint8_t* bytes,
+                                    size_t len) const {
+  Descent d;
+  const uint8_t* arena = key_bytes_.data();
+  Ref ref = root_;
+  size_t depth = 0;
+  for (;;) {
+    uint32_t tag = RefTag(ref);
+    if (tag == kTagLeaf) {
+      uint32_t g = RefPayload(ref);
+      int cmp = CompareToGroup(key, g);
+      if (cmp == 0) {
+        d.hit = true;
+        d.group = g;
+      } else {
+        d.group = cmp < 0 ? g : g + 1;
+      }
+      return d;
+    }
+    const NodeHeader& h = HeaderOf(ref);
+    for (uint32_t i = 0; i < h.prefix_len; ++i) {
+      uint8_t nb = arena[h.prefix_off + i];
+      if (depth + i >= len || bytes[depth + i] < nb) {
+        d.group = h.first_group;  // probe < every key below this node
+        return d;
+      }
+      if (bytes[depth + i] > nb) {
+        d.group = h.last_group + 1;  // probe > every key below this node
+        return d;
+      }
+    }
+    depth += h.prefix_len;
+    if (depth >= len) {
+      // Unreachable for the prefix-free codec (the probe's terminator or
+      // fixed width always yields a decisive byte); treat as probe < all.
+      d.group = h.first_group;
+      return d;
+    }
+    uint8_t b = bytes[depth];
+    Ref child = kNullRef;
+    Ref pred = kNullRef;
+    switch (tag) {
+      case kTagNode4: {
+        const Node4& nd = node4_[RefPayload(ref)];
+        uint32_t idx = nd.count;
+        for (uint32_t i = 0; i < nd.count; ++i) {
+          if (nd.keys[i] >= b) {
+            idx = i;
+            break;
+          }
+        }
+        if (idx < nd.count && nd.keys[idx] == b) {
+          child = nd.children[idx];
+        } else if (idx > 0) {
+          pred = nd.children[idx - 1];
+        }
+        break;
+      }
+      case kTagNode16: {
+        const Node16& nd = node16_[RefPayload(ref)];
+        uint32_t idx = nd.count;
+        for (uint32_t i = 0; i < nd.count; ++i) {
+          if (nd.keys[i] >= b) {
+            idx = i;
+            break;
+          }
+        }
+        if (idx < nd.count && nd.keys[idx] == b) {
+          child = nd.children[idx];
+        } else if (idx > 0) {
+          pred = nd.children[idx - 1];
+        }
+        break;
+      }
+      case kTagNode48: {
+        const Node48& nd = node48_[RefPayload(ref)];
+        if (nd.child_index[b] != 0xFF) {
+          child = nd.children[nd.child_index[b]];
+        } else {
+          for (int bb = static_cast<int>(b) - 1; bb >= 0; --bb) {
+            if (nd.child_index[bb] != 0xFF) {
+              pred = nd.children[nd.child_index[bb]];
+              break;
+            }
+          }
+        }
+        break;
+      }
+      default: {
+        const Node256& nd = node256_[RefPayload(ref)];
+        if (nd.children[b] != kNullRef) {
+          child = nd.children[b];
+        } else {
+          for (int bb = static_cast<int>(b) - 1; bb >= 0; --bb) {
+            if (nd.children[bb] != kNullRef) {
+              pred = nd.children[bb];
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (child != kNullRef) {
+      ref = child;
+      ++depth;
+      continue;
+    }
+    // No child for this byte: the successor is the first group after the
+    // predecessor child's subtree, or the node's first group if the probe
+    // byte sorts before every child.
+    d.group = pred != kNullRef ? LastGroupOf(pred) + 1 : h.first_group;
+    return d;
+  }
+}
+
+ArtIndex::Descent ArtIndex::DescendKey(const IndexKey& key) const {
+  if (key_type_ != DataType::kString) {
+    uint8_t numeric[8];
+    for (int i = 0; i < 8; ++i) {
+      numeric[i] = static_cast<uint8_t>(key.enc >> (56 - 8 * i));
+    }
+    return Descend(key, numeric, sizeof(numeric));
+  }
+  thread_local std::vector<uint8_t> scratch;
+  scratch.clear();
+  AppendEscapedString(key.str, &scratch);
+  return Descend(key, scratch.data(), scratch.size());
+}
+
+size_t ArtIndex::LeafStartsThrough(size_t x) const {
+  if (leaf_start_.empty()) return x / per_leaf_;
+  // Count starts q with 1 <= q <= x (leaf_start_ begins with ordinal 0).
+  return static_cast<size_t>(
+             std::upper_bound(leaf_start_.begin(), leaf_start_.end(), x) -
+             leaf_start_.begin()) -
+         1;
+}
+
+bool ArtIndex::IsLeafStart(size_t p) const {
+  if (leaf_start_.empty()) return p % per_leaf_ == 0;
+  return std::binary_search(leaf_start_.begin(), leaf_start_.end(), p);
+}
+
+void ArtIndex::ChargeCanonical(size_t p, size_t m, bool entry_gt,
+                               WorkCounter* wc) const {
+  if (wc == nullptr) return;
+  // Seek: one node visit per level, plus one extra when the canonical
+  // descent routes into the predecessor leaf (the landed-on entry starts a
+  // leaf and exceeds the (key, rid=0) target) or walks off the end.
+  uint64_t units = height_ * WorkCounter::kIndexNodeVisit;
+  if (p == size_) {
+    units += WorkCounter::kIndexNodeVisit;
+  } else if (p > 0 && entry_gt && IsLeafStart(p)) {
+    units += WorkCounter::kIndexNodeVisit;
+  }
+  // Iteration: one entry scan per match, one node visit per canonical leaf
+  // boundary crossed, plus the hop off the last leaf when the matches end
+  // exactly at the last entry.
+  if (m > 0) {
+    units += m * WorkCounter::kIndexEntryScan;
+    size_t end = p + m;
+    size_t upper = end == size_ ? size_ - 1 : end;
+    size_t crossings = LeafStartsThrough(upper) - LeafStartsThrough(p);
+    if (end == size_) crossings += 1;
+    units += crossings * WorkCounter::kIndexNodeVisit;
+  }
+  ChargeWork(wc, units);
+}
+
+void ArtIndex::Resolve(const Descent& d, WorkCounter* wc,
+                       std::vector<Rid>* out) const {
+  size_t p = group_start_[d.group];
+  if (!d.hit) {
+    ChargeCanonical(p, 0, /*entry_gt=*/true, wc);
+    return;
+  }
+  size_t end = group_start_[d.group + 1];
+  ChargeCanonical(p, end - p, /*entry_gt=*/rids_[p] > 0, wc);
+  out->insert(out->end(), rids_.begin() + p, rids_.begin() + end);
+}
+
+void ArtIndex::Probe(const IndexKey& key, WorkCounter* wc,
+                     std::vector<Rid>* out) const {
+  AJR_CHECK(key.type == key_type_);
+  if (root_ == kNullRef) {
+    // Empty index: the canonical probe descends to the empty root leaf and
+    // hops off its end.
+    ChargeCanonical(0, 0, /*entry_gt=*/true, wc);
+    return;
+  }
+  Resolve(DescendKey(key), wc, out);
+}
+
+std::unique_ptr<Index::ProbeState> ArtIndex::NewProbeState() const {
+  return std::make_unique<ArtProbeState>();
+}
+
+bool ArtIndex::ProbeHinted(const IndexKey& key, ProbeState* state,
+                           WorkCounter* wc, std::vector<Rid>* out) const {
+  AJR_CHECK(key.type == key_type_);
+  auto* st = static_cast<ArtProbeState*>(state);
+  if (root_ == kNullRef) {
+    ChargeCanonical(0, 0, /*entry_gt=*/true, wc);
+    return false;
+  }
+  // How many groups past the hint the target may sit before a fresh radix
+  // descent beats the walk (mirrors the B+-tree's kMaxHintHops intent).
+  constexpr uint32_t kMaxHintGroups = 16;
+  const uint32_t num_groups = static_cast<uint32_t>(group_slot_.size());
+  if (st->valid) {
+    uint32_t g = st->group;
+    int cmp = CompareToGroup(key, g);
+    if (cmp >= 0) {
+      // The hint group's key <= probe: walk forward group by group.
+      Descent d;
+      bool resolved = false;
+      uint32_t hops = 0;
+      for (;;) {
+        if (cmp == 0) {
+          d.hit = true;
+          d.group = g;
+          resolved = true;
+          break;
+        }
+        if (g + 1 == num_groups) {
+          d.group = num_groups;  // probe past every key
+          resolved = true;
+          break;
+        }
+        if (++hops > kMaxHintGroups) break;
+        ++g;
+        cmp = CompareToGroup(key, g);
+        if (cmp < 0) {
+          d.group = g;  // miss between g-1 and g
+          resolved = true;
+          break;
+        }
+      }
+      if (resolved) {
+        st->group = d.hit ? d.group : (d.group > 0 ? d.group - 1 : 0);
+        Resolve(d, wc, out);
+        return true;
+      }
+    }
+    // Probe below the hint or too far past it: fall through to a descent.
+  }
+  Descent d = DescendKey(key);
+  st->valid = true;
+  st->group = d.hit ? d.group : (d.group > 0 ? d.group - 1 : 0);
+  Resolve(d, wc, out);
+  return false;
+}
+
+Value ArtIndex::GroupKey(size_t g) const {
+  uint64_t stored = group_slot_[g];
+  switch (key_type_) {
+    case DataType::kBool:
+      return Value(stored != 0);
+    case DataType::kInt64:
+      return Value(OrderDecodeInt64(stored));
+    case DataType::kDouble:
+      return Value(OrderDecodeDouble(stored));
+    case DataType::kString:
+      return Value(std::string(pool_->Get(static_cast<uint32_t>(stored))));
+  }
+  CheckFailed("unreachable DataType in GroupKey", __FILE__, __LINE__);
+}
+
+std::vector<Rid> ArtIndex::GroupRids(size_t g) const {
+  return std::vector<Rid>(rids_.begin() + group_start_[g],
+                          rids_.begin() + group_start_[g + 1]);
+}
+
+ArtIndex::NodeCounts ArtIndex::node_counts() const {
+  return NodeCounts{node4_.size(), node16_.size(), node48_.size(),
+                    node256_.size()};
+}
+
+Status ArtIndex::CheckInvariants() const {
+  const size_t num_groups = group_slot_.size();
+  if (group_start_.size() != num_groups + 1) {
+    return Status::Internal("ART group_start length mismatch");
+  }
+  if (group_start_.front() != 0 || group_start_.back() != size_ ||
+      rids_.size() != size_) {
+    return Status::Internal("ART group spans do not cover size()");
+  }
+  if (group_key_off_.size() != num_groups + 1) {
+    return Status::Internal("ART key arena offsets length mismatch");
+  }
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (group_start_[g] >= group_start_[g + 1]) {
+      return Status::Internal("ART empty or inverted group span");
+    }
+    for (uint32_t i = group_start_[g] + 1; i < group_start_[g + 1]; ++i) {
+      if (rids_[i - 1] > rids_[i]) {
+        return Status::Internal("ART RIDs out of order within group");
+      }
+    }
+    if (g > 0) {
+      int c;
+      if (key_type_ != DataType::kString) {
+        uint64_t a = group_slot_[g - 1], b = group_slot_[g];
+        c = a < b ? -1 : (a > b ? 1 : 0);
+      } else {
+        c = pool_->Compare(static_cast<uint32_t>(group_slot_[g - 1]),
+                           static_cast<uint32_t>(group_slot_[g]));
+      }
+      if (c >= 0) return Status::Internal("ART groups out of key order");
+      // Escaped byte images must sort the same way.
+      auto bytes_of = [&](size_t gg) {
+        return std::basic_string_view<uint8_t>(
+            key_bytes_.data() + group_key_off_[gg],
+            group_key_off_[gg + 1] - group_key_off_[gg]);
+      };
+      if (!(bytes_of(g - 1) < bytes_of(g))) {
+        return Status::Internal("ART escaped keys out of byte order");
+      }
+    }
+  }
+  // Canonical leaf shape.
+  if (leaf_start_.empty()) {
+    if (per_leaf_ == 0) return Status::Internal("ART per_leaf is zero");
+  } else {
+    if (leaf_start_.front() != 0) {
+      return Status::Internal("ART leaf_start must begin at 0");
+    }
+    for (size_t i = 1; i < leaf_start_.size(); ++i) {
+      if (leaf_start_[i - 1] >= leaf_start_[i] || leaf_start_[i] >= size_) {
+        return Status::Internal("ART leaf_start out of order");
+      }
+    }
+  }
+  // Radix structure: every subtree covers exactly its group range, spells
+  // its first group's bytes, and keeps child bytes strictly ascending.
+  struct Walker {
+    const ArtIndex* art;
+    Status Walk(Ref ref, size_t depth, uint32_t lo, uint32_t hi) const {
+      if (RefTag(ref) == kTagLeaf) {
+        if (RefPayload(ref) != lo || lo != hi) {
+          return Status::Internal("ART leaf group out of place");
+        }
+        return Status::OK();
+      }
+      const NodeHeader& h = art->HeaderOf(ref);
+      if (h.first_group != lo || h.last_group != hi || lo >= hi) {
+        return Status::Internal("ART node group range mismatch");
+      }
+      size_t key_len =
+          art->group_key_off_[lo + 1] - art->group_key_off_[lo];
+      if (depth + h.prefix_len >= key_len) {
+        return Status::Internal("ART prefix overruns key");
+      }
+      const uint8_t* key = art->key_bytes_.data() + art->group_key_off_[lo];
+      for (uint32_t i = 0; i < h.prefix_len; ++i) {
+        if (art->key_bytes_[h.prefix_off + i] != key[depth + i]) {
+          return Status::Internal("ART prefix differs from first key");
+        }
+      }
+      size_t branch_depth = depth + h.prefix_len;
+      std::vector<std::pair<uint8_t, Ref>> children;
+      switch (RefTag(ref)) {
+        case kTagNode4: {
+          const Node4& nd = art->node4_[RefPayload(ref)];
+          for (uint32_t i = 0; i < nd.count; ++i) {
+            children.push_back({nd.keys[i], nd.children[i]});
+          }
+          break;
+        }
+        case kTagNode16: {
+          const Node16& nd = art->node16_[RefPayload(ref)];
+          for (uint32_t i = 0; i < nd.count; ++i) {
+            children.push_back({nd.keys[i], nd.children[i]});
+          }
+          break;
+        }
+        case kTagNode48: {
+          const Node48& nd = art->node48_[RefPayload(ref)];
+          for (int b = 0; b < 256; ++b) {
+            if (nd.child_index[b] != 0xFF) {
+              children.push_back(
+                  {static_cast<uint8_t>(b), nd.children[nd.child_index[b]]});
+            }
+          }
+          if (children.size() != nd.count) {
+            return Status::Internal("ART Node48 count mismatch");
+          }
+          break;
+        }
+        default: {
+          const Node256& nd = art->node256_[RefPayload(ref)];
+          for (int b = 0; b < 256; ++b) {
+            if (nd.children[b] != kNullRef) {
+              children.push_back({static_cast<uint8_t>(b), nd.children[b]});
+            }
+          }
+          if (children.size() != nd.count) {
+            return Status::Internal("ART Node256 count mismatch");
+          }
+          break;
+        }
+      }
+      if (children.size() < 2) {
+        return Status::Internal("ART inner node with < 2 children");
+      }
+      uint32_t next = lo;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0 && children[i - 1].first >= children[i].first) {
+          return Status::Internal("ART child bytes out of order");
+        }
+        uint32_t child_lo = next;
+        uint32_t child_hi = art->LastGroupOf(children[i].second);
+        if (child_lo > child_hi || child_hi > hi) {
+          return Status::Internal("ART child range out of bounds");
+        }
+        const uint8_t* ck =
+            art->key_bytes_.data() + art->group_key_off_[child_lo];
+        if (ck[branch_depth] != children[i].first) {
+          return Status::Internal("ART child byte differs from child key");
+        }
+        AJR_RETURN_IF_ERROR(
+            Walk(children[i].second, branch_depth + 1, child_lo, child_hi));
+        next = child_hi + 1;
+      }
+      if (next != hi + 1) {
+        return Status::Internal("ART children do not cover group range");
+      }
+      return Status::OK();
+    }
+  } walker{this};
+  if (num_groups == 0) {
+    if (root_ != kNullRef) return Status::Internal("ART empty index has root");
+    return Status::OK();
+  }
+  return walker.Walk(root_, 0, 0, static_cast<uint32_t>(num_groups - 1));
+}
+
+}  // namespace ajr

@@ -1,0 +1,210 @@
+// ArtIndex: an Adaptive Radix Tree point-probe backend (Leis et al., ICDE
+// 2013) built as a read-only twin of a loaded BPlusTree.
+//
+// Structure. Keys are radix-searched as byte strings: numeric keys are the
+// 8-byte big-endian image of their order encoding (types/row_layout.h), so
+// byte order equals key order; string keys are the raw bytes with 0x00
+// escaped as {0x00, 0xFF} and a {0x00, 0x00} terminator appended, which is
+// both order-preserving and prefix-free (no stored key is a prefix of
+// another — every descent ends at a decisive byte). Inner nodes come in the
+// four classic arities (Node4/16/48/256) and carry path-compressed prefixes
+// pointing into a shared key-byte arena. Distinct keys form "groups"; the
+// RIDs of all entries live in one flat array in (key, RID) order, so a hit
+// resolves to a contiguous RID span with no per-entry pointer chasing.
+//
+// Capabilities. Point probes only: SupportsRangeScan() and
+// SupportsPositional() are false, so driving scans, range cursors,
+// remaining-cardinality statistics, and positional-predicate resume all stay
+// on the B+-tree (the planner/executor gate on these capabilities). This is
+// the honest trade: the ART wins on point-probe latency, the B+-tree keeps
+// everything ordered-scan shaped.
+//
+// Work-unit parity. Every probe charges the CANONICAL cost of the sibling
+// B+-tree it was built from — height node visits for the descent, one entry
+// scan per match, one node visit per canonical leaf boundary crossed —
+// computed arithmetically from the sibling's leaf shape (captured at build
+// time via BPlusTree::LeafSizes()). Work units, monitor statistics, and
+// adaptation decision traces are therefore bit-identical across backends;
+// only wall time differs. See Index in storage/index.h for the contract.
+//
+// Thread safety: build-then-serve. BuildFromTree is the only writer; the
+// built index is immutable and every probe entry point is const, so any
+// number of concurrent readers are race-free (string probes use a
+// thread-local escape buffer). ProbeState objects are single-owner.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/work_counter.h"
+#include "storage/bplus_tree.h"
+#include "storage/index.h"
+#include "storage/key_codec.h"
+#include "types/string_pool.h"
+
+namespace ajr {
+
+/// Read-only ART over the contents of a loaded B+-tree (see file comment).
+class ArtIndex final : public Index {
+ public:
+  /// Builds an ART holding exactly the (key, RID) entries of `tree`, taking
+  /// the canonical height and leaf shape from it for work-unit parity. The
+  /// tree must outlive the ArtIndex for string key types (the pool is
+  /// borrowed); numeric trees impose no lifetime coupling.
+  static std::unique_ptr<ArtIndex> BuildFromTree(const BPlusTree& tree);
+
+  ~ArtIndex() override;
+  ArtIndex(const ArtIndex&) = delete;
+  ArtIndex& operator=(const ArtIndex&) = delete;
+
+  // ---- Index interface ----
+  IndexBackend backend() const override { return IndexBackend::kArt; }
+  DataType key_type() const override { return key_type_; }
+  size_t size() const override { return size_; }
+  size_t height() const override { return height_; }
+  bool SupportsRangeScan() const override { return false; }
+  bool SupportsPositional() const override { return false; }
+  void Probe(const IndexKey& key, WorkCounter* wc,
+             std::vector<Rid>* out) const override;
+  std::unique_ptr<ProbeState> NewProbeState() const override;
+  bool ProbeHinted(const IndexKey& key, ProbeState* state, WorkCounter* wc,
+                   std::vector<Rid>* out) const override;
+
+  // ---- Introspection (tests / diagnostics) ----
+
+  /// Number of distinct keys.
+  size_t num_groups() const { return group_slot_.size(); }
+  /// Key of distinct-key group `g`, materialized (groups ascend in key
+  /// order, so iterating g = 0..num_groups()-1 yields IndexKey order).
+  Value GroupKey(size_t g) const;
+  /// RIDs of group `g` in ascending order.
+  std::vector<Rid> GroupRids(size_t g) const;
+
+  /// Inner-node population by arity — the Node4 -> 16 -> 48 -> 256 growth
+  /// tests assert on these.
+  struct NodeCounts {
+    size_t n4 = 0, n16 = 0, n48 = 0, n256 = 0;
+  };
+  NodeCounts node_counts() const;
+
+  /// Structural validation (test hook): groups strictly ascend in key
+  /// order, radix paths spell exactly each group's escaped bytes, child
+  /// bytes ascend within every node, first/last group ranges are exact,
+  /// RID spans ascend, and the canonical leaf shape covers size() entries.
+  Status CheckInvariants() const;
+
+ private:
+  ArtIndex() = default;
+
+  // A child reference packs {tag, payload} into 32 bits: tag 0 = none,
+  // 1 = leaf (payload = group id), 2..5 = Node4/16/48/256 (payload = index
+  // into the per-arity store). 29 payload bits bound the index at ~536M
+  // distinct keys / nodes — far above anything the engine loads.
+  using Ref = uint32_t;
+  static constexpr Ref kNullRef = 0;
+  static constexpr uint32_t kTagLeaf = 1;
+  static constexpr uint32_t kTagNode4 = 2;
+  static constexpr uint32_t kTagNode16 = 3;
+  static constexpr uint32_t kTagNode48 = 4;
+  static constexpr uint32_t kTagNode256 = 5;
+
+  static Ref MakeRef(uint32_t tag, uint32_t payload) {
+    return (payload << 3) | tag;
+  }
+  static uint32_t RefTag(Ref r) { return r & 7u; }
+  static uint32_t RefPayload(Ref r) { return r >> 3; }
+
+  /// Shared inner-node fields: the compressed prefix (a span of the key
+  /// arena) and the inclusive group range the subtree covers. The range is
+  /// what makes misses cheap: the successor group of a mismatch is computed
+  /// locally (first_group / last_group + 1) with no backtracking stack and
+  /// zero cost on the hit path.
+  struct NodeHeader {
+    uint32_t prefix_off = 0;
+    uint32_t prefix_len = 0;
+    uint32_t first_group = 0;
+    uint32_t last_group = 0;
+  };
+  struct Node4 {
+    NodeHeader h;
+    uint8_t count = 0;
+    uint8_t keys[4] = {};
+    Ref children[4] = {};
+  };
+  struct Node16 {
+    NodeHeader h;
+    uint8_t count = 0;
+    uint8_t keys[16] = {};
+    Ref children[16] = {};
+  };
+  struct Node48 {
+    NodeHeader h;
+    uint8_t child_index[256];  // 0xFF = empty
+    Ref children[48] = {};
+    uint8_t count = 0;
+  };
+  struct Node256 {
+    NodeHeader h;
+    Ref children[256] = {};
+    uint16_t count = 0;
+  };
+
+  /// Outcome of a radix descent: a hit on group `group`, or a miss whose
+  /// key-order successor is group `group` (== num_groups when the probe is
+  /// past every key).
+  struct Descent {
+    bool hit = false;
+    uint32_t group = 0;
+  };
+
+  Descent Descend(const IndexKey& key, const uint8_t* bytes,
+                  size_t len) const;
+  /// Descend after materializing the probe's byte image (stack buffer for
+  /// numerics, thread-local escape scratch for strings).
+  Descent DescendKey(const IndexKey& key) const;
+  /// Three-way compare of the probe against group `g`'s key.
+  int CompareToGroup(const IndexKey& key, size_t g) const;
+  /// Charges the canonical B+-tree cost of a probe that lands at global
+  /// entry ordinal `p` with `m` matches; `entry_gt` = the landed-on entry
+  /// compares greater than the (key, rid=0) seek target.
+  void ChargeCanonical(size_t p, size_t m, bool entry_gt, WorkCounter* wc) const;
+  /// Resolves a descent to (RID span, canonical charge) and appends to out.
+  void Resolve(const Descent& d, WorkCounter* wc, std::vector<Rid>* out) const;
+
+  const NodeHeader& HeaderOf(Ref r) const;
+  uint32_t LastGroupOf(Ref r) const;
+
+  /// Number of canonical leaf-start ordinals q with 1 <= q <= x.
+  size_t LeafStartsThrough(size_t x) const;
+  bool IsLeafStart(size_t p) const;
+
+  Ref BuildRange(uint32_t lo, uint32_t hi, size_t depth);
+
+  DataType key_type_ = DataType::kInt64;
+  size_t size_ = 0;    ///< total (key, RID) entries
+  size_t height_ = 1;  ///< sibling B+-tree height (charge parameter)
+  const StringPool* pool_ = nullptr;  ///< borrowed from the source tree
+
+  // Canonical leaf shape of the sibling tree. Bulk-loaded trees pack
+  // uniformly (leaf starts at multiples of per_leaf_, O(1) arithmetic);
+  // insert-built trees fall back to the explicit start-ordinal list.
+  size_t per_leaf_ = 1;
+  std::vector<size_t> leaf_start_;  ///< non-uniform shapes only; starts with 0
+
+  std::vector<uint64_t> group_slot_;   ///< distinct key slots, ascending
+  std::vector<uint32_t> group_start_;  ///< num_groups+1; [g, g+1) spans rids_
+  std::vector<Rid> rids_;              ///< all RIDs in (key, RID) order
+
+  std::vector<uint8_t> key_bytes_;     ///< escaped-key arena (prefix spans)
+  std::vector<uint32_t> group_key_off_;  ///< num_groups+1 offsets into arena
+  std::vector<Node4> node4_;
+  std::vector<Node16> node16_;
+  std::vector<Node48> node48_;
+  std::vector<Node256> node256_;
+  Ref root_ = kNullRef;
+};
+
+}  // namespace ajr

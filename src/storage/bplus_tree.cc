@@ -294,6 +294,57 @@ Status BPlusTree::BulkLoadEncoded(std::vector<EncodedEntry> sorted_entries) {
   return Status::OK();
 }
 
+std::vector<size_t> BPlusTree::LeafSizes() const {
+  std::vector<size_t> sizes;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children.front().get();
+  }
+  for (const auto* leaf = static_cast<const LeafNode*>(node); leaf != nullptr;
+       leaf = leaf->next) {
+    if (!leaf->entries.empty()) sizes.push_back(leaf->entries.size());
+  }
+  return sizes;
+}
+
+void BPlusTree::Probe(const IndexKey& key, WorkCounter* wc,
+                      std::vector<Rid>* out) const {
+  AJR_CHECK(key.type == key_type_);
+  // Identical charge sequence to IndexProbe: one seek, then one charged
+  // Next per returned match (the failing match test charges nothing).
+  Iterator it = SeekEntry(key, /*rid=*/0, wc);
+  while (it.Valid() && ProbeEquals(key, it.key_slot())) {
+    out->push_back(it.rid());
+    it.Next(wc);
+  }
+}
+
+namespace {
+/// Descent memory for the B+-tree's ProbeHinted: a SeekHint leaf.
+class BtreeProbeState final : public Index::ProbeState {
+ public:
+  void Reset() override { hint.Reset(); }
+  BPlusTree::SeekHint hint;
+};
+}  // namespace
+
+std::unique_ptr<Index::ProbeState> BPlusTree::NewProbeState() const {
+  return std::make_unique<BtreeProbeState>();
+}
+
+bool BPlusTree::ProbeHinted(const IndexKey& key, ProbeState* state,
+                            WorkCounter* wc, std::vector<Rid>* out) const {
+  AJR_CHECK(key.type == key_type_);
+  auto* st = static_cast<BtreeProbeState*>(state);
+  bool used_hint = false;
+  Iterator it = SeekEntryHinted(key, /*rid=*/0, &st->hint, wc, &used_hint);
+  while (it.Valid() && ProbeEquals(key, it.key_slot())) {
+    out->push_back(it.rid());
+    it.Next(wc);
+  }
+  return used_hint;
+}
+
 uint64_t BPlusTree::Iterator::key_slot() const {
   assert(Valid());
   return static_cast<const LeafNode*>(leaf_)->entries[slot_].key;

@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "common/work_counter.h"
 #include "storage/heap_table.h"
+#include "storage/index.h"
 #include "storage/key_codec.h"
 #include "types/string_pool.h"
 #include "types/value.h"
@@ -56,7 +57,8 @@ struct IndexEntry {
 };
 
 /// B+-tree index with leaf chaining. Keys are uint64 slots of one DataType.
-class BPlusTree {
+/// The full-capability Index backend: ranges, positional resume, probes.
+class BPlusTree final : public Index {
  public:
   /// One entry in stored form: encoded key slot + RID.
   struct EncodedEntry {
@@ -70,17 +72,36 @@ class BPlusTree {
   /// own a private pool otherwise (standalone trees interning on Insert).
   explicit BPlusTree(DataType key_type, size_t fanout = 64,
                      const StringPool* pool = nullptr);
-  ~BPlusTree();
+  ~BPlusTree() override;
 
   BPlusTree(const BPlusTree&) = delete;
   BPlusTree& operator=(const BPlusTree&) = delete;
   BPlusTree(BPlusTree&&) noexcept;
   BPlusTree& operator=(BPlusTree&&) noexcept;
 
-  DataType key_type() const { return key_type_; }
-  size_t size() const { return size_; }
+  DataType key_type() const override { return key_type_; }
+  size_t size() const override { return size_; }
   /// Tree height in levels (1 = just a leaf).
-  size_t height() const { return height_; }
+  size_t height() const override { return height_; }
+
+  // ---- Index interface (storage/index.h) ----
+  IndexBackend backend() const override { return IndexBackend::kBTree; }
+  bool SupportsRangeScan() const override { return true; }
+  bool SupportsPositional() const override { return true; }
+  void Probe(const IndexKey& key, WorkCounter* wc,
+             std::vector<Rid>* out) const override;
+  std::unique_ptr<ProbeState> NewProbeState() const override;
+  bool ProbeHinted(const IndexKey& key, ProbeState* state, WorkCounter* wc,
+                   std::vector<Rid>* out) const override;
+
+  /// The pool string key slots resolve through (null for non-string trees).
+  /// Shared-pool trees point at the table pool; standalone string trees
+  /// return their private pool.
+  const StringPool* pool() const { return pool_; }
+
+  /// Physical leaf sizes in chain order — the canonical shape the ART twin
+  /// replays for work-unit parity (empty for an empty tree).
+  std::vector<size_t> LeafSizes() const;
 
   /// Inserts one entry. Duplicate keys allowed; duplicate (key, rid) pairs
   /// are legal but the workload never produces them. String keys intern

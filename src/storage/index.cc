@@ -1,0 +1,23 @@
+#include "storage/index.h"
+
+#include "common/check.h"
+
+namespace ajr {
+
+const char* IndexBackendName(IndexBackend backend) {
+  switch (backend) {
+    case IndexBackend::kBTree:
+      return "btree";
+    case IndexBackend::kArt:
+      return "art";
+  }
+  CheckFailed("unreachable IndexBackend in IndexBackendName", __FILE__, __LINE__);
+}
+
+std::optional<IndexBackend> ParseIndexBackend(const std::string& name) {
+  if (name == "btree") return IndexBackend::kBTree;
+  if (name == "art") return IndexBackend::kArt;
+  return std::nullopt;
+}
+
+}  // namespace ajr

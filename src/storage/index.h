@@ -1,0 +1,110 @@
+// Index: the abstract interface every secondary-index backend implements.
+//
+// The adaptive executor's probe path (exec/pipeline_executor.cc) talks to
+// indexes exclusively through this interface, so backends are pluggable per
+// query (AdaptiveOptions::index_backend) without touching executor code.
+// The contract has three parts:
+//
+//   * Point probes. Probe() appends every RID whose key equals the probe
+//     key, in ascending RID order — the deterministic (key, RID) order the
+//     paper's positional predicates rely on. ProbeHinted() is the batched
+//     variant: an opaque ProbeState carries descent memory across calls so
+//     sorted key batches skip repeated full descents (the B+-tree resumes
+//     from the previous leaf, the ART from the previous key group).
+//
+//   * Capabilities. Range scans and positional-predicate resume
+//     (SeekAfter-style "key > k* OR (key = k* AND rid > r*)") are queryable
+//     capabilities, not universal guarantees. Legs that need them — driving
+//     scans, range cursors, remaining-cardinality statistics — fall back to
+//     a backend that reports support (the B+-tree); point-probe legs take
+//     whatever backend was selected.
+//
+//   * Work-unit parity. Every backend charges the CANONICAL B+-tree cost
+//     for a probe — height node visits, one entry scan per match, one node
+//     visit per canonical leaf boundary crossed — regardless of its
+//     physical structure. This extends PR 4's "as-if fresh descent"
+//     contract (hinted seeks charge like fresh ones) to "as-if the sibling
+//     B+-tree": work units, monitor statistics, adaptation decision traces,
+//     and event logs are bit-identical across backends on the same
+//     workload, so switching backends is invisible to the adaptive
+//     controller and the differential oracle.
+//
+// Thread safety: like the B+-tree, every method here is const and
+// touches no interior state; concurrent readers over a built index are
+// race-free. ProbeState objects are stateful and single-owner.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/work_counter.h"
+#include "storage/heap_table.h"
+#include "storage/key_codec.h"
+
+namespace ajr {
+
+/// Which physical index structure serves point probes.
+enum class IndexBackend {
+  kBTree,  ///< the B+-tree (ranges, positional resume, point probes)
+  kArt,    ///< Adaptive Radix Tree point-probe twin (storage/art_index.h)
+};
+
+/// Lower-case stable name ("btree" / "art") for flags, logs, and bench JSON.
+const char* IndexBackendName(IndexBackend backend);
+
+/// Inverse of IndexBackendName; nullopt on unknown names.
+std::optional<IndexBackend> ParseIndexBackend(const std::string& name);
+
+/// Abstract index over (key, RID) entries sorted by (key, RID).
+class Index {
+ public:
+  /// Opaque per-caller descent memory for ProbeHinted: remembers where the
+  /// previous probe landed so a nearby, not-smaller key resolves without a
+  /// full descent. Invalidated by any index mutation; Reset() forgets the
+  /// position so the next hinted probe descends fresh.
+  class ProbeState {
+   public:
+    virtual ~ProbeState() = default;
+    virtual void Reset() = 0;
+  };
+
+  virtual ~Index() = default;
+
+  virtual IndexBackend backend() const = 0;
+  virtual DataType key_type() const = 0;
+  /// Total (key, RID) entries.
+  virtual size_t size() const = 0;
+  /// Canonical height in levels (identical across backends over the same
+  /// entries — it parameterizes the shared charge model).
+  virtual size_t height() const = 0;
+
+  /// True when the backend can serve ordered range scans (driving-leg
+  /// cursors, Count* cardinality statistics).
+  virtual bool SupportsRangeScan() const = 0;
+  /// True when the backend can resume strictly after a (key, RID) position
+  /// (the positional predicate / re-promotion machinery of Sec 4.2).
+  virtual bool SupportsPositional() const = 0;
+
+  /// Point probe: appends all RIDs whose key equals `key` to `out` in
+  /// ascending RID order and charges the canonical probe cost to `wc`
+  /// (null = no charging). String keys borrow the caller's bytes for the
+  /// duration of the call.
+  virtual void Probe(const IndexKey& key, WorkCounter* wc,
+                     std::vector<Rid>* out) const = 0;
+
+  /// Fresh descent memory for ProbeHinted (never null).
+  virtual std::unique_ptr<ProbeState> NewProbeState() const = 0;
+
+  /// Probe() with descent memory: same RIDs, same canonical charge — the
+  /// physical shortcut is invisible to accounting. `state` must come from
+  /// this index's NewProbeState(). Returns true when the full descent was
+  /// skipped (the "descents saved" effectiveness statistic).
+  virtual bool ProbeHinted(const IndexKey& key, ProbeState* state,
+                           WorkCounter* wc, std::vector<Rid>* out) const = 0;
+};
+
+}  // namespace ajr

@@ -161,6 +161,14 @@ std::vector<DifferentialConfig> DefaultConfigs() {
   regret_aggressive.policy = PolicyKind::kRegret;
   const size_t kBatch = AdaptiveOptions{}.probe_batch_size;
   const size_t kCache = AdaptiveOptions{}.probe_cache_entries;
+  // Index-backend variants: the ART charges the canonical B+-tree cost for
+  // every probe, so an art config can share a work_class with its btree
+  // twin — the strongest form of the parity claim (work units, decision
+  // counts, event log, final order all bit-identical across backends).
+  auto art = [](AdaptiveOptions base) {
+    base.index_backend = IndexBackend::kArt;
+    return base;
+  };
   return {
       {"static", off, StatsTier::kBase, "static"},
       {"static/per-row", probes(off, 1, 0), StatsTier::kBase, "static"},
@@ -185,6 +193,17 @@ std::vector<DifferentialConfig> DefaultConfigs() {
       {"regret-base/per-row", probes(regret, 1, 0), StatsTier::kBase,
        "regret"},
       {"regret-aggressive", regret_aggressive, StatsTier::kBase, ""},
+      // ART backend twins of the btree configs above, in the same work
+      // classes. The per-row variants bypass batching and memoization, so
+      // every probe is a fresh ART descent charged as-if B+-tree; the
+      // batched variants route through ProbeHinted + ProbeCache on top.
+      {"static/art", art(off), StatsTier::kBase, "static"},
+      {"paper-default/art", art(AdaptiveOptions{}), StatsTier::kMinimal,
+       "paper"},
+      {"paper-default/art-per-row", art(probes(AdaptiveOptions{}, 1, 0)),
+       StatsTier::kMinimal, "paper"},
+      {"aggressive-base/art", art(aggressive), StatsTier::kBase, "aggressive"},
+      {"regret-base/art", art(regret), StatsTier::kBase, "regret"},
       // Morsel-parallel axis: the same invariants must hold per worker
       // pipeline, and the merged result multiset must still equal the
       // reference, for every dop. Tiny morsels force frequent dispenser
@@ -194,7 +213,33 @@ std::vector<DifferentialConfig> DefaultConfigs() {
       {"paper-default/dop2", AdaptiveOptions{}, StatsTier::kMinimal, "", 2, 5},
       {"aggressive-base/dop4", aggressive, StatsTier::kBase, "", 4, 3},
       {"regret-base/dop2", regret, StatsTier::kBase, "", 2, 5},
+      // Morsel-parallel ART: per-worker invariants and the merged result
+      // multiset under the radix backend at dop 2 and 4.
+      {"paper-default/art-dop2", art(AdaptiveOptions{}), StatsTier::kMinimal,
+       "", 2, 5},
+      {"aggressive-base/art-dop4", art(aggressive), StatsTier::kBase, "", 4, 3},
   };
+}
+
+std::vector<DifferentialConfig> ConfigsForBackend(IndexBackend backend) {
+  std::vector<DifferentialConfig> all = DefaultConfigs();
+  // Every work_class containing a config on `backend` joins the subset
+  // whole, so the run is a true cross-backend accounting differential
+  // (the other backend's twins serve as the in-class reference).
+  std::unordered_set<std::string> classes;
+  for (const DifferentialConfig& config : all) {
+    if (config.adaptive.index_backend == backend && !config.work_class.empty()) {
+      classes.insert(config.work_class);
+    }
+  }
+  std::vector<DifferentialConfig> out;
+  for (DifferentialConfig& config : all) {
+    if (config.adaptive.index_backend == backend ||
+        (!config.work_class.empty() && classes.count(config.work_class) > 0)) {
+      out.push_back(std::move(config));
+    }
+  }
+  return out;
 }
 
 std::vector<DifferentialConfig> ConfigsForPolicy(PolicyKind kind) {

@@ -86,6 +86,13 @@ std::vector<DifferentialConfig> DefaultConfigs();
 /// subsets asserts all policies agree on the result multiset.
 std::vector<DifferentialConfig> ConfigsForPolicy(PolicyKind kind);
 
+/// The index-backend axis: every DefaultConfigs() entry selecting `backend`
+/// plus all configs sharing a work_class with one of them, so the subset is
+/// a self-contained cross-backend differential — identical result multisets
+/// against the reference AND bit-identical work/stat accounting between the
+/// backends within each class (fuzz_differential --index=<name>).
+std::vector<DifferentialConfig> ConfigsForBackend(IndexBackend backend);
+
 /// The aggressive AdaptiveOptions used by DefaultConfigs (exported for
 /// tests that want maximum switching on their own plans).
 AdaptiveOptions AggressiveAdaptiveOptions();

@@ -10,8 +10,9 @@
 // Usage:
 //   fuzz_differential [--seed N] [--count N] [--duration SECONDS]
 //                     [--jobs N] [--inject none|nopos|dup]
-//                     [--policy rank|regret|static] [--wide]
-//                     [--expect-failure] [--no-shrink] [--start-seed N]
+//                     [--policy rank|regret|static] [--index btree|art]
+//                     [--wide] [--expect-failure] [--no-shrink]
+//                     [--start-seed N]
 //
 //   --seed N          run exactly seed N (replay mode)
 //   --wide            generate with GeneratorOptions::WideProfile (6-20
@@ -24,6 +25,11 @@
 //   --inject dup      emit every output row twice
 //   --policy P        restrict the config spread to one AdaptationPolicy
 //                     (default: the full spread across all policies)
+//   --index B         run the index-backend axis: configs selecting backend
+//                     B plus their work_class twins on the other backend,
+//                     so result multisets AND work/stat accounting are
+//                     compared across btree/art on every seed (mutually
+//                     exclusive with --policy)
 //   --expect-failure  exit 0 only if a failure IS found (oracle self-test)
 //   --no-shrink       print the raw failing spec without minimizing
 //
@@ -66,6 +72,7 @@ struct Flags {
   unsigned jobs = 1;
   std::string inject = "none";
   std::optional<ajr::PolicyKind> policy;
+  std::optional<ajr::IndexBackend> index;
   bool wide = false;
   bool expect_failure = false;
   bool no_shrink = false;
@@ -117,6 +124,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->policy = ajr::ParsePolicyKind(v);
       if (!flags->policy.has_value()) {
         std::fprintf(stderr, "--policy must be rank|regret|static, got %s\n", v);
+        return false;
+      }
+    } else if (matches(arg, "--index")) {
+      if ((v = value_of(&i, "--index", arg)) == nullptr) return false;
+      flags->index = ajr::ParseIndexBackend(v);
+      if (!flags->index.has_value()) {
+        std::fprintf(stderr, "--index must be btree|art, got %s\n", v);
         return false;
       }
     } else if (std::strcmp(arg, "--wide") == 0) {
@@ -182,8 +196,15 @@ int main(int argc, char** argv) {
   faults.double_emit = flags.inject == "dup";
   DifferentialOptions options;
   if (flags.inject != "none") options.faults = &faults;
+  if (flags.policy.has_value() && flags.index.has_value()) {
+    std::fprintf(stderr, "--policy and --index are mutually exclusive axes\n");
+    return 2;
+  }
   if (flags.policy.has_value()) {
     options.configs = ajr::testing::ConfigsForPolicy(*flags.policy);
+  }
+  if (flags.index.has_value()) {
+    options.configs = ajr::testing::ConfigsForBackend(*flags.index);
   }
 
   SharedState shared;
@@ -216,11 +237,12 @@ int main(int argc, char** argv) {
           .count();
   std::printf(
       "fuzz_differential: %llu cases in %.1fs (%.0f cases/s), inject=%s, "
-      "policy=%s, profile=%s\n",
+      "policy=%s, index=%s, profile=%s\n",
       static_cast<unsigned long long>(shared.cases_run.load()), elapsed,
       shared.cases_run.load() / (elapsed > 0 ? elapsed : 1),
       flags.inject.c_str(),
       flags.policy.has_value() ? ajr::PolicyKindName(*flags.policy) : "all",
+      flags.index.has_value() ? ajr::IndexBackendName(*flags.index) : "all",
       flags.wide ? "wide" : "default");
 
   if (!shared.harness_error.empty()) {
@@ -251,8 +273,14 @@ int main(int argc, char** argv) {
     minimal = std::move(shrunk.spec);
   }
   std::printf("\n---- minimal repro ----\n%s", minimal.ToRepro().c_str());
-  std::printf("replay: fuzz_differential --seed %llu --inject %s%s\n",
+  std::string axis;
+  if (flags.policy.has_value()) {
+    axis = std::string(" --policy ") + ajr::PolicyKindName(*flags.policy);
+  } else if (flags.index.has_value()) {
+    axis = std::string(" --index ") + ajr::IndexBackendName(*flags.index);
+  }
+  std::printf("replay: fuzz_differential --seed %llu --inject %s%s%s\n",
               static_cast<unsigned long long>(shared.failure->seed),
-              flags.inject.c_str(), flags.wide ? " --wide" : "");
+              flags.inject.c_str(), axis.c_str(), flags.wide ? " --wide" : "");
   return flags.expect_failure ? 0 : 1;
 }

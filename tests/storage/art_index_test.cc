@@ -1,0 +1,329 @@
+// Property suite for ArtIndex, the read-only ART twin of the B+-tree.
+//
+// The two halves of the backend contract are exercised against reference
+// models: result parity (every probe returns the same RID multiset as both a
+// std::map model and the sibling B+-tree, for hits and misses, hinted and
+// fresh) and charge parity (every probe charges exactly the work units the
+// sibling B+-tree charges for the same key — the bit-identical-accounting
+// guarantee the adaptive controller and the differential oracle rely on).
+// Structural tests cover the ART specifics: byte-order iteration matching
+// IndexKey order, Node4 -> 16 -> 48 -> 256 arity growth, path-compression
+// edge keys (long shared prefixes, embedded NULs, prefix-ordered strings),
+// and the codec corners (-0.0 vs +0.0, INT64_MIN/MAX).
+
+#include "storage/art_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/work_counter.h"
+#include "storage/bplus_tree.h"
+#include "storage/key_codec.h"
+
+namespace ajr {
+namespace {
+
+/// Probes `key` through the tree and the ART (fresh path) and requires
+/// identical RIDs and identical work-unit charges.
+void CheckProbeParity(const BPlusTree& tree, const ArtIndex& art,
+                      const IndexKey& key) {
+  WorkCounter tree_wc, art_wc;
+  std::vector<Rid> tree_rids, art_rids;
+  tree.Probe(key, &tree_wc, &tree_rids);
+  art.Probe(key, &art_wc, &art_rids);
+  ASSERT_EQ(tree_rids, art_rids);
+  ASSERT_EQ(tree_wc.total(), art_wc.total())
+      << "charge diverged on a probe with " << tree_rids.size() << " matches";
+}
+
+/// Builds the ART from `tree`, validates invariants, and cross-checks every
+/// model key (hit) plus the given miss keys against both backends.
+void CheckAgainstModel(const BPlusTree& tree,
+                       const std::map<int64_t, std::vector<Rid>>& model,
+                       const std::vector<int64_t>& miss_keys) {
+  auto art = ArtIndex::BuildFromTree(tree);
+  ASSERT_TRUE(art->CheckInvariants().ok()) << art->CheckInvariants().message();
+  ASSERT_EQ(art->size(), tree.size());
+  ASSERT_EQ(art->num_groups(), model.size());
+  for (const auto& [k, rids] : model) {
+    WorkCounter wc;
+    std::vector<Rid> got;
+    art->Probe(IndexKey::Int64(k), &wc, &got);
+    ASSERT_EQ(got, rids) << "key " << k;
+    CheckProbeParity(tree, *art, IndexKey::Int64(k));
+  }
+  for (int64_t k : miss_keys) {
+    if (model.count(k) != 0) continue;
+    WorkCounter wc;
+    std::vector<Rid> got;
+    art->Probe(IndexKey::Int64(k), &wc, &got);
+    ASSERT_TRUE(got.empty()) << "miss key " << k << " returned RIDs";
+    CheckProbeParity(tree, *art, IndexKey::Int64(k));
+  }
+}
+
+TEST(ArtIndexTest, InsertProbeRoundTripVsMapModel) {
+  Rng rng(20260809);
+  for (int round = 0; round < 20; ++round) {
+    // Alternate insert-built and bulk-loaded trees and vary the fanout so
+    // both canonical leaf shapes (uniform packing and organic splits) are
+    // covered.
+    size_t fanout = static_cast<size_t>(rng.NextInt64(4, 16));
+    BPlusTree tree(DataType::kInt64, fanout);
+    std::map<int64_t, std::vector<Rid>> model;
+    size_t n = static_cast<size_t>(rng.NextInt64(0, 400));
+    int64_t key_span = rng.NextInt64(1, 200);  // dense spans force duplicates
+    bool bulk = round % 2 == 0;
+    std::vector<IndexEntry> entries;
+    for (size_t i = 0; i < n; ++i) {
+      int64_t k = rng.NextInt64(-key_span, key_span);
+      Rid rid = static_cast<Rid>(i);
+      model[k].push_back(rid);
+      if (bulk) {
+        entries.push_back({Value(k), rid});
+      } else {
+        tree.Insert(Value(k), rid);
+      }
+    }
+    if (bulk) {
+      std::sort(entries.begin(), entries.end());
+      ASSERT_TRUE(tree.BulkLoad(std::move(entries)).ok());
+    }
+    std::vector<int64_t> misses;
+    for (int i = 0; i < 50; ++i) {
+      misses.push_back(rng.NextInt64(-key_span * 3, key_span * 3));
+    }
+    misses.push_back(INT64_MIN);
+    misses.push_back(INT64_MAX);
+    CheckAgainstModel(tree, model, misses);
+  }
+}
+
+TEST(ArtIndexTest, EmptyIndexMatchesEmptyTree) {
+  BPlusTree tree(DataType::kInt64);
+  auto art = ArtIndex::BuildFromTree(tree);
+  ASSERT_TRUE(art->CheckInvariants().ok());
+  EXPECT_EQ(art->size(), 0u);
+  EXPECT_EQ(art->num_groups(), 0u);
+  CheckProbeParity(tree, *art, IndexKey::Int64(42));
+  // Hinted probes on an empty index are misses with the canonical charge.
+  auto state = art->NewProbeState();
+  WorkCounter wc;
+  std::vector<Rid> rids;
+  art->ProbeHinted(IndexKey::Int64(7), state.get(), &wc, &rids);
+  WorkCounter tree_wc;
+  std::vector<Rid> tree_rids;
+  tree.Probe(IndexKey::Int64(7), &tree_wc, &tree_rids);
+  EXPECT_EQ(wc.total(), tree_wc.total());
+  EXPECT_TRUE(rids.empty());
+}
+
+TEST(ArtIndexTest, ByteOrderIterationMatchesIndexKeyOrder) {
+  Rng rng(7);
+  // Strings with embedded NULs, shared prefixes, and prefix-of-each-other
+  // pairs: group iteration must follow Value order, which is byte order.
+  BPlusTree tree(DataType::kString, 8);
+  std::vector<std::string> keys = {
+      std::string("\0", 1),          std::string("\0\0", 2),
+      std::string("\0a", 2),         "",
+      "a",                           "ab",
+      "abc",                         "abd",
+      std::string("ab\0", 3),        std::string("ab\0\xff", 4),
+      "b",                           "ba"};
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    for (int j = rng.NextInt64(0, 6); j > 0; --j) {
+      s.push_back(static_cast<char>(rng.NextInt64(0, 3)));  // tiny alphabet
+    }
+    keys.push_back(s);
+  }
+  Rid rid = 0;
+  for (const std::string& k : keys) tree.Insert(Value(k), rid++);
+  auto art = ArtIndex::BuildFromTree(tree);
+  ASSERT_TRUE(art->CheckInvariants().ok()) << art->CheckInvariants().message();
+  for (size_t g = 1; g < art->num_groups(); ++g) {
+    ASSERT_LT(art->GroupKey(g - 1).Compare(art->GroupKey(g)), 0)
+        << "groups out of IndexKey order at " << g;
+  }
+  // Every inserted key probes back with parity; near-miss prefixes miss.
+  for (const std::string& k : keys) {
+    CheckProbeParity(tree, *art, IndexKey::String(k));
+    CheckProbeParity(tree, *art, IndexKey::String(k + "x"));
+    CheckProbeParity(tree, *art, IndexKey::String(k + std::string("\0", 1)));
+  }
+}
+
+TEST(ArtIndexTest, NodeGrowth4To16To48To256) {
+  // Distinct branch bytes at one position drive the branching node's arity:
+  // keys i << 40 differ in byte 2 of the big-endian order encoding.
+  auto build = [](int64_t distinct) {
+    BPlusTree tree(DataType::kInt64);
+    std::vector<IndexEntry> entries;
+    for (int64_t i = 0; i < distinct; ++i) {
+      entries.push_back({Value(i << 40), static_cast<Rid>(i)});
+    }
+    std::sort(entries.begin(), entries.end());
+    EXPECT_TRUE(tree.BulkLoad(std::move(entries)).ok());
+    return ArtIndex::BuildFromTree(tree);
+  };
+  auto counts3 = build(3)->node_counts();
+  EXPECT_EQ(counts3.n4, 1u);
+  EXPECT_EQ(counts3.n16 + counts3.n48 + counts3.n256, 0u);
+  auto counts10 = build(10)->node_counts();
+  EXPECT_EQ(counts10.n16, 1u);
+  EXPECT_EQ(counts10.n4 + counts10.n48 + counts10.n256, 0u);
+  auto counts30 = build(30)->node_counts();
+  EXPECT_EQ(counts30.n48, 1u);
+  EXPECT_EQ(counts30.n4 + counts30.n16 + counts30.n256, 0u);
+  auto counts200 = build(200)->node_counts();
+  EXPECT_EQ(counts200.n256, 1u);
+  EXPECT_EQ(counts200.n4 + counts200.n16 + counts200.n48, 0u);
+}
+
+TEST(ArtIndexTest, PathCompressionEdgeKeys) {
+  // Long shared prefixes collapse into compressed paths; keys differing
+  // only in the final byte, and keys that extend one another, must all
+  // resolve. Probes that diverge inside a compressed prefix (before, after,
+  // and mid-prefix) must miss with the canonical charge.
+  BPlusTree tree(DataType::kString, 8);
+  std::string deep(100, 'p');
+  std::vector<std::string> keys = {deep + "a", deep + "b", deep + "ba",
+                                   deep + std::string("b\0", 2), "q", "qq"};
+  Rid rid = 0;
+  for (const std::string& k : keys) tree.Insert(Value(k), rid++);
+  auto art = ArtIndex::BuildFromTree(tree);
+  ASSERT_TRUE(art->CheckInvariants().ok()) << art->CheckInvariants().message();
+  for (const std::string& k : keys) CheckProbeParity(tree, *art, IndexKey::String(k));
+  std::vector<std::string> probes = {
+      deep,                       // ends inside the compressed path
+      deep.substr(0, 50) + "z",   // diverges above the prefix
+      deep.substr(0, 50),         // ends mid-prefix
+      deep + "c",                 // past every branch byte
+      deep + "A",                 // before every branch byte
+      "",
+      std::string(200, 'p')};     // overruns every stored key
+  for (const std::string& p : probes) {
+    CheckProbeParity(tree, *art, IndexKey::String(p));
+  }
+}
+
+TEST(ArtIndexTest, CodecCornerKeys) {
+  // -0.0 canonicalizes to +0.0 in the codec; both probes must find the
+  // same entries. INT64_MIN/MAX sit at the radix extremes.
+  BPlusTree dtree(DataType::kDouble, 8);
+  dtree.Insert(Value(0.0), 1);
+  dtree.Insert(Value(-0.0), 2);
+  dtree.Insert(Value(1.5), 3);
+  dtree.Insert(Value(-1.5), 4);
+  auto dart = ArtIndex::BuildFromTree(dtree);
+  ASSERT_TRUE(dart->CheckInvariants().ok());
+  for (double v : {0.0, -0.0, 1.5, -1.5, 2.5, -2.5}) {
+    CheckProbeParity(dtree, *dart, IndexKey::Double(v));
+  }
+  WorkCounter wc;
+  std::vector<Rid> rids;
+  dart->Probe(IndexKey::Double(-0.0), &wc, &rids);
+  EXPECT_EQ(rids, (std::vector<Rid>{1, 2}));
+
+  BPlusTree itree(DataType::kInt64, 8);
+  itree.Insert(Value(INT64_MIN), 1);
+  itree.Insert(Value(INT64_MAX), 2);
+  itree.Insert(Value(int64_t{0}), 3);
+  itree.Insert(Value(int64_t{-1}), 4);
+  auto iart = ArtIndex::BuildFromTree(itree);
+  ASSERT_TRUE(iart->CheckInvariants().ok());
+  for (int64_t v : {INT64_MIN, INT64_MAX, int64_t{0}, int64_t{-1}, int64_t{1},
+                    INT64_MIN + 1, INT64_MAX - 1}) {
+    CheckProbeParity(itree, *iart, IndexKey::Int64(v));
+  }
+}
+
+TEST(ArtIndexTest, HintedProbesMatchFreshAcrossKeyMixes) {
+  Rng rng(991);
+  for (int round = 0; round < 10; ++round) {
+    size_t fanout = static_cast<size_t>(rng.NextInt64(4, 32));
+    BPlusTree tree(DataType::kInt64, fanout);
+    std::vector<IndexEntry> entries;
+    size_t n = static_cast<size_t>(rng.NextInt64(50, 2000));
+    for (size_t i = 0; i < n; ++i) {
+      entries.push_back(
+          {Value(rng.NextInt64(0, static_cast<int64_t>(n / 2))),
+           static_cast<Rid>(i)});
+    }
+    std::sort(entries.begin(), entries.end());
+    ASSERT_TRUE(tree.BulkLoad(std::move(entries)).ok());
+    auto art = ArtIndex::BuildFromTree(tree);
+    ASSERT_TRUE(art->CheckInvariants().ok());
+
+    // The executor's batch pattern: mostly-ascending runs with occasional
+    // backward jumps and uniform noise, resolved through one ProbeState.
+    auto state = art->NewProbeState();
+    int64_t cursor = 0;
+    for (int i = 0; i < 500; ++i) {
+      double roll = rng.NextDouble();
+      if (roll < 0.7) {
+        cursor += rng.NextInt64(0, 3);
+      } else if (roll < 0.85) {
+        cursor = rng.NextInt64(0, static_cast<int64_t>(n / 2));
+      } else {
+        cursor -= rng.NextInt64(1, 20);
+      }
+      IndexKey key = IndexKey::Int64(cursor);
+      WorkCounter fresh_wc, hint_wc;
+      std::vector<Rid> fresh_rids, hint_rids;
+      tree.Probe(key, &fresh_wc, &fresh_rids);
+      art->ProbeHinted(key, state.get(), &hint_wc, &hint_rids);
+      ASSERT_EQ(fresh_rids, hint_rids) << "key " << cursor;
+      ASSERT_EQ(fresh_wc.total(), hint_wc.total())
+          << "hinted charge diverged at key " << cursor;
+    }
+    // Reset forgets the position but changes nothing observable.
+    state->Reset();
+    CheckProbeParity(tree, *art, IndexKey::Int64(0));
+  }
+}
+
+TEST(ArtIndexTest, BtreeProbeHintedMatchesFreshToo) {
+  // The B+-tree's own Index-interface hinted path must honor the same
+  // contract (it wraps SeekHinted, but the wiring deserves its own check).
+  Rng rng(5);
+  BPlusTree tree(DataType::kInt64, 8);
+  std::vector<IndexEntry> entries;
+  for (size_t i = 0; i < 500; ++i) {
+    entries.push_back({Value(rng.NextInt64(0, 200)), static_cast<Rid>(i)});
+  }
+  std::sort(entries.begin(), entries.end());
+  ASSERT_TRUE(tree.BulkLoad(std::move(entries)).ok());
+  const Index& idx = tree;
+  auto state = idx.NewProbeState();
+  for (int64_t k = -5; k < 210; ++k) {
+    IndexKey key = IndexKey::Int64(k);
+    WorkCounter fresh_wc, hint_wc;
+    std::vector<Rid> fresh_rids, hint_rids;
+    idx.Probe(key, &fresh_wc, &fresh_rids);
+    idx.ProbeHinted(key, state.get(), &hint_wc, &hint_rids);
+    ASSERT_EQ(fresh_rids, hint_rids) << "key " << k;
+    ASSERT_EQ(fresh_wc.total(), hint_wc.total()) << "key " << k;
+  }
+}
+
+TEST(ArtIndexTest, CapabilityGates) {
+  BPlusTree tree(DataType::kInt64);
+  auto art = ArtIndex::BuildFromTree(tree);
+  EXPECT_EQ(art->backend(), IndexBackend::kArt);
+  EXPECT_FALSE(art->SupportsRangeScan());
+  EXPECT_FALSE(art->SupportsPositional());
+  EXPECT_EQ(tree.backend(), IndexBackend::kBTree);
+  EXPECT_TRUE(tree.SupportsRangeScan());
+  EXPECT_TRUE(tree.SupportsPositional());
+  EXPECT_EQ(IndexBackendName(IndexBackend::kArt), std::string("art"));
+  EXPECT_EQ(ParseIndexBackend("btree"), IndexBackend::kBTree);
+  EXPECT_EQ(ParseIndexBackend("bogus"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ajr

@@ -365,6 +365,76 @@ int main(int argc, char** argv) {
               art_zipf_speedup, art_zipf_speedup >= 1.5 ? "ok" : "below target");
   std::printf("  work units identical across backends (canonical charging)\n");
 
+  // Node16 key-search race: the SIMD lower bound vs the scalar reference,
+  // isolated from the rest of the descent. Random Node16-occupancy key sets
+  // (5..16 sorted distinct bytes) probed with random bytes; result sums are
+  // asserted equal, so the race is also an equality check on real streams.
+  double n16_scalar_s = 1e30, n16_simd_s = 1e30;
+  {
+    const size_t kNodes = 1024;
+    std::vector<uint8_t> node_keys(kNodes * 16);
+    std::vector<uint8_t> node_count(kNodes);
+    for (size_t nidx = 0; nidx < kNodes; ++nidx) {
+      uint8_t count = static_cast<uint8_t>(rng.NextInt64(5, 16));
+      bool used[256] = {};
+      for (uint8_t got = 0; got < count;) {
+        uint8_t b = static_cast<uint8_t>(rng.NextInt64(0, 255));
+        if (!used[b]) {
+          used[b] = true;
+          ++got;
+        }
+      }
+      uint8_t* keys = node_keys.data() + nidx * 16;
+      uint8_t pos = 0;
+      for (int b = 0; b < 256; ++b) {
+        if (used[b]) keys[pos++] = static_cast<uint8_t>(b);
+      }
+      node_count[nidx] = count;
+    }
+    std::vector<uint32_t> which(probes);
+    std::vector<uint8_t> probe_bytes(probes);
+    for (size_t i = 0; i < probes; ++i) {
+      which[i] = static_cast<uint32_t>(
+          rng.NextInt64(0, static_cast<int64_t>(kNodes) - 1));
+      probe_bytes[i] = static_cast<uint8_t>(rng.NextInt64(0, 255));
+    }
+    uint64_t scalar_sum = 0, simd_sum = 0;
+    for (size_t it = 0; it < iters; ++it) {
+      auto t0 = std::chrono::steady_clock::now();
+      uint64_t sum = 0;
+      for (size_t i = 0; i < probes; ++i) {
+        sum += ArtIndex::Node16LowerBoundScalar(
+            node_keys.data() + which[i] * 16, node_count[which[i]],
+            probe_bytes[i]);
+      }
+      double s = Seconds(t0);
+      if (s < n16_scalar_s) n16_scalar_s = s;
+      scalar_sum = sum;
+      t0 = std::chrono::steady_clock::now();
+      sum = 0;
+      for (size_t i = 0; i < probes; ++i) {
+        sum += ArtIndex::Node16LowerBound(node_keys.data() + which[i] * 16,
+                                          node_count[which[i]],
+                                          probe_bytes[i]);
+      }
+      s = Seconds(t0);
+      if (s < n16_simd_s) n16_simd_s = s;
+      simd_sum = sum;
+    }
+    if (scalar_sum != simd_sum) {
+      std::fprintf(stderr,
+                   "MISMATCH (node16 lower bound): scalar sum %llu vs simd %llu\n",
+                   (unsigned long long)scalar_sum, (unsigned long long)simd_sum);
+      return 1;
+    }
+  }
+  const double n16_scalar_mps = static_cast<double>(probes) / n16_scalar_s / 1e6;
+  const double n16_simd_mps = static_cast<double>(probes) / n16_simd_s / 1e6;
+  std::printf("\n== Node16 key search: scalar vs SIMD lower bound ==\n");
+  std::printf("  scalar %10.2f Msearch/s   simd %10.2f Msearch/s   %0.2fx\n",
+              n16_scalar_mps, n16_simd_mps, n16_simd_mps / n16_scalar_mps);
+  std::printf("  lower-bound sums identical across implementations\n");
+
   JsonReport report("index_probe", flags);
   const char* names[] = {"point_sorted", "point_random", "point_zipf"};
   for (size_t w = 0; w < 3; ++w) {
@@ -388,5 +458,8 @@ int main(int argc, char** argv) {
   }
   report.AddMetric("art_random_speedup", art_random_speedup);
   report.AddMetric("art_zipf_speedup", art_zipf_speedup);
+  report.AddMetric("node16_scalar_msearch", n16_scalar_mps);
+  report.AddMetric("node16_simd_msearch", n16_simd_mps);
+  report.AddMetric("node16_simd_speedup", n16_simd_mps / n16_scalar_mps);
   return 0;
 }

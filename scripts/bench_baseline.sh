@@ -2,7 +2,8 @@
 # Records the benchmark baselines as BENCH_<name>.json: the row-format
 # microbenchmark, the Fig 7 adaptive-vs-static scatter, the concurrent-
 # runtime throughput harness, the index-probe (batched descent /
-# memoization) microbenchmark, and the wide-join repair curve (n=6..20).
+# memoization) microbenchmark, the wide-join repair curve (n=6..20), and
+# the shared-traffic harness (cross-query scan/cache sharing off vs on).
 #
 #   scripts/bench_baseline.sh            # writes bench/baselines/BENCH_*.json
 #   scripts/bench_baseline.sh /tmp/perf  # writes elsewhere (e.g. for a CI
@@ -49,6 +50,11 @@ echo
 echo "== baseline: wide_join (repair curve n=6..20, reduced scale) =="
 "${BUILD}/bench/wide_join" --owners=12000 --per-template=1 --reps=2 \
   --json="${OUT}/BENCH_wide_join.json"
+
+echo
+echo "== baseline: shared_traffic (8 concurrent identical queries) =="
+"${BUILD}/bench/shared_traffic" --owners=20000 --concurrent=8 --per-client=2 \
+  --reps=2 --json="${OUT}/BENCH_shared_traffic.json"
 
 echo
 echo "baselines written to ${OUT}/"

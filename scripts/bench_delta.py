@@ -19,9 +19,13 @@ into each file by bench/harness_util; comparing across different build
 types, dops, adaptation policies, or index backends is reported as a
 warning because such deltas
 measure the configuration, not the code. When either side of a comparison
-carries the `speedups_not_meaningful` marker (bench/parallel_scaling sets
-it on hardware_concurrency=1 machines, mirroring its WARNING line), all
-dop>1 metrics are skipped: single-core "speedups" are scheduler noise.
+carries the `speedups_not_meaningful` marker (bench/parallel_scaling and
+bench/shared_traffic set it on hardware_concurrency=1 machines, mirroring
+their WARNING lines), all dop>1 metrics and all speedup ratios are
+skipped: single-core "speedups" are scheduler noise. Work-shape metrics
+like `passes_per_query` (scan passes physically produced per consuming
+query — lower is better) stay gated even then, because they count work,
+not wall time.
 Only Python stdlib is used.
 """
 
@@ -34,7 +38,7 @@ DEFAULT_THRESHOLD = 15.0
 HIGHER_BETTER = ("qps", "speedup", "throughput", "hit_rate", "per_second",
                  "identity")
 LOWER_BETTER = ("_ms", "_us", "wall", "latency", "seconds", "work_units",
-                "mismatch", "_ns")
+                "mismatch", "_ns", "passes_per_query")
 # Configuration echoes and activity counters: reported, never gated.
 INFORMATIONAL = ("workers", "hardware_concurrency", "morsel", "queries",
                  "order_switches", "reorders", "switches", "folds", "dop",
@@ -133,9 +137,11 @@ def main():
         if single_core:
             print("  NOTE: speedups_not_meaningful marker set "
                   "(hardware_concurrency=1 on at least one side); "
-                  "skipping dop>1 comparisons")
+                  "skipping dop>1 and speedup comparisons")
         for metric in sorted(set(fresh) | set(base)):
-            if single_core and (dop_of(metric) or 1) > 1:
+            if single_core and ((dop_of(metric) or 1) > 1 or
+                                ("speedup" in metric.lower() and
+                                 "not_meaningful" not in metric.lower())):
                 print(f"  {metric:44s} skipped (single-core run)")
                 continue
             if metric not in fresh or metric not in base:

@@ -63,15 +63,24 @@ bool AdaptiveCoordinator::RegisterWorker(ParallelWorkerSync* sync) {
 }
 
 AdaptiveCoordinator::Acquire AdaptiveCoordinator::AcquireMorsel(
-    ParallelMorsel* morsel) {
+    ParallelMorsel* morsel, size_t worker) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (state_ == State::kAbort) return Acquire::kAborted;
     if (state_ == State::kDone) return Acquire::kFinished;
     if (state_ == State::kRunning) {
-      if (source_->Fill(morsel)) return Acquire::kMorsel;
+      if (source_->Fill(morsel, worker)) return Acquire::kMorsel;
       // The promoted scan ran dry with no switch pending: drain to finish.
       state_ = State::kDrainingEnd;
+    }
+    // A pending switch drains the source's read-ahead first: every morsel
+    // produced before the decision must be processed before the install, or
+    // the high-water demotion would exclude entries no worker ever saw.
+    // Workers park only once nothing already-produced remains, so by the
+    // time the barrier completes the ready queue is empty.
+    if (state_ == State::kDrainingSwitch &&
+        source_->FillFromReady(morsel, worker)) {
+      return Acquire::kMorsel;
     }
     // Draining (switch pending or scan exhausted): adjustable barrier over
     // every registered worker. The last arrival acts; workers registering
@@ -189,7 +198,11 @@ void AdaptiveCoordinator::RunChecksLocked() {
       reordered = true;
     }
   }
-  if (policy_->adapts_driving()) {
+  // Driving switches demote the current leg with a positional predicate;
+  // when the source cannot express one (a shared-scan attachment that
+  // joined mid-pass), keeping the driving leg is the only sound decision —
+  // skip the check entirely rather than decide and fail at install time.
+  if (policy_->adapts_driving() && source_->demotion_safe()) {
     ++driving_checks_;
     CostInputs in = BuildCostInputsLocked(options_.min_leg_samples);
     const size_t current = order_[0];

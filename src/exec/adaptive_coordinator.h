@@ -76,9 +76,28 @@ class DrivingSource {
   /// sits past every dispensed entry).
   virtual Status Promote(size_t table) = 0;
 
-  /// Fills `morsel` with the next batch of entries from the promoted scan.
-  /// False when the scan is exhausted (morsels are never empty).
-  virtual bool Fill(ParallelMorsel* morsel) = 0;
+  /// Fills `morsel` with the next batch of entries from the promoted scan
+  /// for `worker` (sources with morsel affinity prefer the worker's last
+  /// stripe). False when the scan is exhausted (morsels are never empty).
+  virtual bool Fill(ParallelMorsel* morsel, size_t worker) = 0;
+
+  /// Hands out an already-produced morsel without producing new ones —
+  /// used while a driving switch drains, so read-ahead morsels dispensed
+  /// before the decision are still processed before the switch installs
+  /// (the high-water mark covers them). Default: no read-ahead, nothing to
+  /// hand out.
+  virtual bool FillFromReady(ParallelMorsel* morsel, size_t worker) {
+    (void)morsel;
+    (void)worker;
+    return false;
+  }
+
+  /// False when the promoted scan cannot be demoted with a positional
+  /// predicate — e.g. a shared-scan attachment that joined mid-pass, whose
+  /// processed set is not a prefix of the scan order. The coordinator then
+  /// skips driving-switch decisions (keeping the driving leg is always
+  /// sound).
+  virtual bool demotion_safe() const { return true; }
 
   /// Position of the last entry handed out since the current promotion;
   /// nullopt when this promotion has dispensed nothing yet.
@@ -158,11 +177,13 @@ class AdaptiveCoordinator {
     kAborted,   ///< another worker aborted; stop with abort_status()
   };
 
-  /// Hands out the next morsel, parking at the drain barrier when a driving
-  /// switch is pending (the last arrival installs it) or the scan is
-  /// exhausted (the last arrival finishes the run). Blocks only while other
-  /// workers finish their in-flight morsels.
-  Acquire AcquireMorsel(ParallelMorsel* morsel);
+  /// Hands out the next morsel for `worker`, parking at the drain barrier
+  /// when a driving switch is pending (the last arrival installs it) or the
+  /// scan is exhausted (the last arrival finishes the run). During a switch
+  /// drain, already-produced read-ahead morsels are still handed out before
+  /// any worker parks. Blocks only while other workers finish their
+  /// in-flight morsels.
+  Acquire AcquireMorsel(ParallelMorsel* morsel, size_t worker);
 
   /// The published decision epoch; workers compare against their adopted
   /// epoch between driving rows. Lock-free.

@@ -396,6 +396,20 @@ void PipelineExecutor::FillProbeBatch(size_t level, const IndexInfo* probe_index
   // Bypass (neither read nor write) while the positional predicate is
   // live: its filter depends on the demotion point, not just the key.
   const bool cache_usable = cache_on && !leg.prefix.has_value();
+  // The cross-query shared cache follows the same bypass rule. Its leg
+  // signature pins the probe index, the leg's local predicate, and the
+  // local cache epoch — a demotion bumps the epoch and so retires only
+  // this leg's shared entries; other legs' stripes survive untouched.
+  const bool shared_usable = shared_cache_ != nullptr && cache_usable;
+  if (shared_usable && (leg.shared_sig_index != pidx ||
+                        leg.shared_sig_epoch != leg.cache_epoch)) {
+    const ExprPtr& pred = plan_->query.local_predicates[t];
+    leg.shared_sig = SharedProbeCache::LegSignature(
+        pidx, pred != nullptr ? pred->ToString() : std::string(),
+        leg.cache_epoch);
+    leg.shared_sig_index = pidx;
+    leg.shared_sig_epoch = leg.cache_epoch;
+  }
 
   // Resolve in ascending key order so the hinted descent resumes from the
   // previous leaf instead of re-walking from the root. Accounting is
@@ -409,6 +423,7 @@ void PipelineExecutor::FillProbeBatch(size_t level, const IndexInfo* probe_index
                      return CompareKeys(leg.batch[a].key, leg.batch[b].key) < 0;
                    });
 
+  SharedProbeCache::Result shared_res;  // reused across probes (capacity)
   for (uint32_t i : leg.batch_by_key) {
     BatchedProbe& bp = leg.batch[i];
     if (cache_usable) {
@@ -422,6 +437,28 @@ void PipelineExecutor::FillProbeBatch(size_t level, const IndexInfo* probe_index
         continue;
       }
       stats_.probe_cache_misses += 1;
+    }
+    if (shared_usable) {
+      // Local miss: consult the fleet-wide cache. A hit replays the exact
+      // (matches, fetched, work_units) triple a fresh probe would produce —
+      // ProbeHinted charges as-if-fresh canonical work, so the triple is a
+      // pure function of (leg signature, key) and replaying it leaves every
+      // monitor, decision, and work total bit-identical.
+      bool conflict = false;
+      if (shared_cache_->Lookup(leg.shared_sig, bp.key, &shared_res,
+                                &conflict)) {
+        bp.matches.swap(shared_res.matches);
+        bp.fetched = shared_res.fetched;
+        bp.work_units = shared_res.work_units;
+        stats_.probe_cache_shared_hits += 1;
+        stats_.probe_descents_saved += 1;
+        if (conflict) stats_.probe_cache_shared_conflicts += 1;
+        leg.cache->Insert(bp.key, leg.cache_epoch, bp.matches, bp.fetched,
+                          bp.work_units);
+        continue;
+      }
+      if (conflict) stats_.probe_cache_shared_conflicts += 1;
+      stats_.probe_cache_shared_misses += 1;
     }
     WorkCounter lwc;
     leg.probe_scratch.clear();
@@ -449,6 +486,12 @@ void PipelineExecutor::FillProbeBatch(size_t level, const IndexInfo* probe_index
     if (cache_usable) {
       leg.cache->Insert(bp.key, leg.cache_epoch, bp.matches, bp.fetched,
                         bp.work_units);
+    }
+    if (shared_usable) {
+      bool conflict = false;
+      shared_cache_->Insert(leg.shared_sig, bp.key, bp.matches, bp.fetched,
+                            bp.work_units, &conflict);
+      if (conflict) stats_.probe_cache_shared_conflicts += 1;
     }
   }
 }
@@ -747,6 +790,14 @@ StatusOr<ExecStats> PipelineExecutor::Execute(const RowSink& sink) {
     metrics_->GetCounter("exec.probe_batches")->Add(stats_.probe_batches);
     metrics_->GetCounter("exec.probe_batch_keys")->Add(stats_.probe_batch_keys);
     metrics_->GetCounter("exec.probe_descents_saved")->Add(stats_.probe_descents_saved);
+    if (shared_cache_ != nullptr) {
+      metrics_->GetCounter("exec.probe_cache_shared_hits")
+          ->Add(stats_.probe_cache_shared_hits);
+      metrics_->GetCounter("exec.probe_cache_shared_misses")
+          ->Add(stats_.probe_cache_shared_misses);
+      metrics_->GetCounter("exec.probe_cache_shared_stripe_conflicts")
+          ->Add(stats_.probe_cache_shared_conflicts);
+    }
     metrics_->GetCounter("exec.policy_decisions")->Add(stats_.policy_decisions);
     metrics_->GetCounter("exec.policy_reorders")->Add(stats_.policy_reorders);
     metrics_->GetCounter("exec.policy_switches")->Add(stats_.policy_switches);

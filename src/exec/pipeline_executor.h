@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "common/work_counter.h"
 #include "exec/probe_cache.h"
+#include "exec/probe_cache_shared.h"
 #include "expr/evaluator.h"
 #include "optimize/planner.h"
 #include "storage/cursors.h"
@@ -58,6 +59,17 @@ struct ExecStats {
   uint64_t probe_batches = 0;
   uint64_t probe_batch_keys = 0;
   uint64_t probe_descents_saved = 0;
+  /// Cross-query sharing observability (exec/probe_cache_shared.h,
+  /// runtime/shared_scan.h; all zero when sharing is off). Shared-cache
+  /// counters accumulate per worker; shared-scan counters are read off the
+  /// morsel dispenser by the orchestrator after the run.
+  uint64_t probe_cache_shared_hits = 0;
+  uint64_t probe_cache_shared_misses = 0;
+  uint64_t probe_cache_shared_conflicts = 0;
+  uint64_t shared_scan_attaches = 0;
+  uint64_t shared_scan_passes_saved = 0;
+  uint64_t scan_morsels_produced = 0;
+  uint64_t scan_morsels_consumed = 0;
   /// Morsel-parallel observability (all zero in serial runs): workers that
   /// processed at least one morsel, morsels processed, and monitor folds
   /// into the shared AdaptiveCoordinator.
@@ -145,6 +157,15 @@ class PipelineExecutor {
   /// The policy driving this run (null until Execute() unless injected).
   AdaptationPolicy* policy() const { return policy_.get(); }
 
+  /// Installs a cross-query shared probe cache (exec/probe_cache_shared.h):
+  /// FillProbeBatch consults it after a local-cache miss and publishes
+  /// physically resolved probes into it, so hot probe results are computed
+  /// once per fleet instead of once per query/worker. Replayed outcomes
+  /// charge the same as-if-fresh work units as a physical probe, so stats,
+  /// monitors, and decisions are unchanged. `cache` must outlive the run;
+  /// may be null (default = no sharing). Call before Execute().
+  void set_shared_cache(SharedProbeCache* cache) { shared_cache_ = cache; }
+
   /// Morsel-parallel worker mode (see exec/adaptive_coordinator.h): driving
   /// rows come from the coordinator's shared morsel source instead of a
   /// private cursor, reorder decisions come from the coordinator's merged
@@ -153,7 +174,7 @@ class PipelineExecutor {
   /// Single-use, like Execute(). Called by ParallelPipelineExecutor
   /// (runtime/parallel_executor.h), not by user code.
   StatusOr<ExecStats> ExecuteWorker(AdaptiveCoordinator* coordinator,
-                                    const RowSink& sink);
+                                    const RowSink& sink, size_t worker_id = 0);
 
  private:
   friend class AdaptiveCoordinator;
@@ -240,6 +261,13 @@ class PipelineExecutor {
     /// Edge the cache's entries were probed through (SIZE_MAX = none yet);
     /// a different edge means a different index, so the cache is cleared.
     size_t cache_edge = SIZE_MAX;
+    /// Shared-cache leg signature: probe-index identity + local-predicate
+    /// fingerprint + cache epoch, so entries from a different predicate or a
+    /// pre-demotion epoch can never be replayed. Recomputed whenever the
+    /// probe target or the epoch it was built for changes.
+    uint64_t shared_sig = 0;
+    const Index* shared_sig_index = nullptr;
+    uint32_t shared_sig_epoch = 0;
   };
 
   Status InitLegs();
@@ -302,6 +330,7 @@ class PipelineExecutor {
   ExecObserver* observer_ = nullptr;
   const FaultInjection* faults_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  SharedProbeCache* shared_cache_ = nullptr;
   uint64_t cancel_polls_ = 0;
   bool executed_ = false;
   /// Worker mode: the coordinator epoch this worker last adopted.

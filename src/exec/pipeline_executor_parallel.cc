@@ -25,6 +25,9 @@ void ExecStats::MergeFrom(const ExecStats& worker) {
   probe_batches += worker.probe_batches;
   probe_batch_keys += worker.probe_batch_keys;
   probe_descents_saved += worker.probe_descents_saved;
+  probe_cache_shared_hits += worker.probe_cache_shared_hits;
+  probe_cache_shared_misses += worker.probe_cache_shared_misses;
+  probe_cache_shared_conflicts += worker.probe_cache_shared_conflicts;
   morsels += worker.morsels;
   monitor_folds += worker.monitor_folds;
 }
@@ -94,7 +97,7 @@ void PipelineExecutor::FoldMonitors(AdaptiveCoordinator* coordinator) {
 }
 
 StatusOr<ExecStats> PipelineExecutor::ExecuteWorker(
-    AdaptiveCoordinator* coordinator, const RowSink& sink) {
+    AdaptiveCoordinator* coordinator, const RowSink& sink, size_t worker_id) {
   if (executed_) {
     return Status::Internal(
         "PipelineExecutor is single-use: ExecuteWorker() was already called");
@@ -125,7 +128,7 @@ StatusOr<ExecStats> PipelineExecutor::ExecuteWorker(
   size_t morsels_since_fold = 0;
   bool finished = false;
   while (!finished) {
-    switch (coordinator->AcquireMorsel(&morsel)) {
+    switch (coordinator->AcquireMorsel(&morsel, worker_id)) {
       case AdaptiveCoordinator::Acquire::kAborted:
         return coordinator->abort_status();
       case AdaptiveCoordinator::Acquire::kFinished:

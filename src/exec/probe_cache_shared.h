@@ -1,0 +1,137 @@
+// SharedProbeCache: a lock-striped, cross-query probe-result cache.
+//
+// The per-leg ProbeCache memoizes probe outcomes within one executor; hot
+// keys probed by every worker of a parallel query — and by every query of
+// a concurrent burst over the same tables — are still resolved physically
+// once per executor. This cache pools those outcomes process-wide: entries
+// are keyed by a 64-bit leg signature (probe index identity, local
+// predicate fingerprint, and the leg's demotion epoch — see LegSignature)
+// plus the probe key, so a replayed triple is exactly what a fresh probe
+// of that leg would compute. The replay keeps work-unit accounting
+// bit-identical to the unshared path (the ProbeHinted as-if-fresh charge
+// contract makes a probe's outcome a pure function of (leg, key)), which
+// the differential oracle's --share axis enforces.
+//
+// Layout: K independent stripes, each a small open-addressed LRU map in
+// the style of exec/probe_cache.h (flat slots, intrusive recency list,
+// backward-shift deletion, in-place victim recycling). A key's stripe is
+// derived from its hash, so dop workers and concurrent queries probing
+// different keys take different stripe locks and never serialize; hammering
+// one hot key contends on exactly one stripe. Lock acquisition is
+// try_lock-first so callers can count real contention (the
+// exec.probe_cache_shared_stripe_conflicts counter).
+//
+// Epochs: a demotion changes a leg's probe results, so the executor folds
+// its cache epoch into the leg signature. Bumping the epoch retires only
+// that leg's entries (they become unreachable and age out of their stripes'
+// LRU lists); hot entries of every other leg — even ones hashing into the
+// same stripe — stay live. This is the striped refinement of the per-leg
+// ProbeCache's whole-cache epoch bump.
+//
+// Thread safety: fully thread-safe; every public method locks only the one
+// stripe the key maps to. Results are copied out under the stripe lock —
+// no pointers into the cache escape.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/probe_cache.h"
+#include "storage/heap_table.h"
+#include "storage/key_codec.h"
+
+namespace ajr {
+
+class SharedProbeCache {
+ public:
+  /// Replayable probe outcome — same triple as ProbeCache::Result.
+  using Result = ProbeCache::Result;
+
+  /// `entries_per_stripe` slots in each of `stripes` stripes (stripes is
+  /// rounded up to a power of two). `entries_per_stripe` == 0 disables the
+  /// cache (every Lookup misses, every Insert is a no-op).
+  explicit SharedProbeCache(size_t entries_per_stripe = 256,
+                            size_t stripes = 16);
+
+  /// Identity of one probe leg's result space: the probe index object (the
+  /// catalog owns one Index per backend per indexed column, so the pointer
+  /// is a process-wide identity), the leg's local-predicate fingerprint
+  /// (two queries filtering the same table differently must never share
+  /// outcomes), and the leg's demotion epoch (see file comment).
+  static uint64_t LegSignature(const void* probe_index,
+                               std::string_view predicate_fingerprint,
+                               uint32_t epoch);
+
+  /// Copies the entry for (sig, key) into `*out` and returns true, or
+  /// returns false on a miss. A hit refreshes stripe LRU recency.
+  /// `*conflict` is set to true when the stripe lock was contended (and is
+  /// left untouched otherwise).
+  bool Lookup(uint64_t sig, const IndexKey& key, Result* out, bool* conflict);
+
+  /// Memoizes a probe outcome for (sig, key), evicting the stripe's least
+  /// recently used entry when full. Oversized match lists (more than
+  /// ProbeCache::kMaxMatchesPerEntry) are not cached. `*conflict` as above.
+  void Insert(uint64_t sig, const IndexKey& key,
+              const std::vector<Rid>& matches, uint64_t fetched,
+              uint64_t work_units, bool* conflict);
+
+  /// Total live entries across stripes (diagnostics; takes every lock).
+  size_t size() const;
+  size_t stripes() const { return stripes_.size(); }
+  size_t stripe_capacity() const { return stripe_capacity_; }
+
+ private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  /// One cache entry. String keys own their bytes (the IndexKey borrows
+  /// them from a table pool whose lifetime is the query's, not the
+  /// engine's).
+  struct Slot {
+    uint64_t hash = 0;  ///< full (sig, key) hash; avoids rehash on evict
+    uint64_t sig = 0;
+    uint64_t enc = 0;
+    std::string str;
+    bool is_string = false;
+    Result result;
+    uint32_t lru_prev = kNil;
+    uint32_t lru_next = kNil;
+  };
+
+  /// One independent open-addressed LRU map (see exec/probe_cache.cc for
+  /// the layout rationale; this is the same structure with (sig, key)
+  /// identity and a mutex).
+  struct Stripe {
+    std::mutex mu;
+    size_t mask = 0;
+    size_t used = 0;
+    std::vector<Slot> slots;
+    std::vector<uint32_t> index;
+    uint32_t lru_head = kNil;
+    uint32_t lru_tail = kNil;
+  };
+
+  static uint64_t HashKey(uint64_t sig, const IndexKey& key);
+  static bool SlotMatches(const Slot& s, uint64_t hash, uint64_t sig,
+                          const IndexKey& key);
+  Stripe& StripeFor(uint64_t hash) {
+    // High bits pick the stripe; low bits index within it, so the two
+    // selections stay independent.
+    return *stripes_[(hash >> 48) & stripe_mask_];
+  }
+  static void Unlink(Stripe& st, uint32_t s);
+  static void PushFront(Stripe& st, uint32_t s);
+  static void EraseIndexAt(Stripe& st, size_t pos);
+  /// Locks `st.mu`, setting `*conflict` when the uncontended path failed.
+  static std::unique_lock<std::mutex> LockStripe(Stripe& st, bool* conflict);
+
+  size_t stripe_capacity_;
+  size_t stripe_mask_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace ajr

@@ -3,63 +3,165 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/string_util.h"
+
 namespace ajr {
 
 MorselDriver::MorselDriver(const PipelinePlan* plan, size_t morsel_size,
-                           bool record_positions)
+                           bool record_positions, SharedScanRegistry* registry,
+                           size_t produce_ahead)
     : plan_(plan),
       morsel_size_(std::max<size_t>(1, morsel_size)),
       record_positions_(record_positions),
+      registry_(registry),
+      produce_ahead_(std::max<size_t>(1, produce_ahead)),
       legs_(plan->query.tables.size()) {}
+
+std::string MorselDriver::ScanSignature(size_t table) const {
+  // A pass is shareable only between scans that produce the very same
+  // morsel stream: same storage objects (catalog-owned, so pointers are
+  // process-wide identities), same key ranges, same morsel size, and the
+  // same position-recording mode.
+  const DrivingAccess& access = plan_->access[table].driving;
+  std::string sig =
+      StrCat("t:", reinterpret_cast<uintptr_t>(&plan_->entries[table]->table()),
+             " i:",
+             reinterpret_cast<uintptr_t>(
+                 access.index != nullptr ? access.index->tree.get() : nullptr),
+             " m:", morsel_size_, " p:", record_positions_ ? 1 : 0, " r:");
+  for (const KeyRange& r : access.ranges) sig += r.ToString() + ";";
+  return sig;
+}
 
 Status MorselDriver::Promote(size_t table) {
   LegScan& leg = legs_[table];
-  if (leg.cursor == nullptr) {
+  if (!leg.promoted) {
     // Mirrors PipelineExecutor::CreateDrivingCursor: indexed legs scan in
     // (key, RID) order over the plan's ranges, others in RID order.
     const DrivingAccess& access = plan_->access[table].driving;
+    auto make_cursor = [&]() -> std::unique_ptr<ScanCursor> {
+      if (access.index != nullptr) {
+        return std::make_unique<IndexScanCursor>(access.index->tree.get(),
+                                                 access.ranges);
+      }
+      return std::make_unique<TableScanCursor>(&plan_->entries[table]->table());
+    };
     if (access.index != nullptr) {
-      leg.cursor = std::make_unique<IndexScanCursor>(access.index->tree.get(),
-                                                     access.ranges);
       leg.total_raw = static_cast<double>(CountRangeEntriesAfter(
           *access.index->tree, access.ranges, std::nullopt));
       leg.prefix_col = access.index->column_idx;
     } else {
-      const HeapTable* table_ptr = &plan_->entries[table]->table();
-      leg.cursor = std::make_unique<TableScanCursor>(table_ptr);
-      leg.total_raw = static_cast<double>(table_ptr->num_rows());
+      leg.total_raw =
+          static_cast<double>(plan_->entries[table]->table().num_rows());
       leg.prefix_col = SIZE_MAX;
     }
+    if (registry_ != nullptr) {
+      leg.shared = std::make_unique<SharedScanAttachment>();
+      registry_->AttachOrCreate(ScanSignature(table), make_cursor, morsel_size_,
+                                record_positions_, leg.shared.get());
+    } else {
+      leg.cursor = make_cursor();
+    }
+    leg.promoted = true;
   }
-  // A re-promotion resumes the original cursor, which already sits past
-  // every previously dispensed entry (Sec 4.2's kept cursor).
+  // A re-promotion resumes the original cursor (or shared attachment),
+  // which already sits past every previously dispensed entry (Sec 4.2's
+  // kept cursor).
   current_ = table;
   dispensed_this_promotion_ = 0;
+  exhausted_ = false;
   return Status::OK();
 }
 
-bool MorselDriver::Fill(ParallelMorsel* morsel) {
+bool MorselDriver::ProduceOne() {
   assert(current_ != SIZE_MAX && "Fill before first Promote");
+  if (exhausted_) return false;
   LegScan& leg = legs_[current_];
-  morsel->rids.clear();
-  morsel->positions.clear();
-  Rid rid;
-  while (morsel->rids.size() < morsel_size_ && leg.cursor->Next(&wc_, &rid)) {
-    morsel->rids.push_back(rid);
-    if (record_positions_) {
-      morsel->positions.push_back(leg.cursor->CurrentPosition());
+  ReadyMorsel rm;
+  rm.seq = next_seq_;
+  ParallelMorsel& m = rm.morsel;
+  if (leg.shared != nullptr) {
+    if (!leg.shared->Next(&m, &wc_)) {
+      exhausted_ = true;
+      return false;
     }
-    leg.dispensed += 1;
-    ++dispensed_this_promotion_;
+  } else {
+    Rid rid;
+    while (m.rids.size() < morsel_size_ && leg.cursor->Next(&wc_, &rid)) {
+      m.rids.push_back(rid);
+      if (record_positions_) {
+        m.positions.push_back(leg.cursor->CurrentPosition());
+      }
+    }
+    if (m.rids.empty()) {
+      exhausted_ = true;
+      return false;
+    }
+    ++morsels_produced_;
   }
-  return !morsel->rids.empty();
+  ++next_seq_;
+  ++morsels_consumed_;
+  leg.dispensed += static_cast<double>(m.rids.size());
+  dispensed_this_promotion_ += m.rids.size();
+  ready_.push_back(std::move(rm));
+  return true;
+}
+
+void MorselDriver::TakeReady(ParallelMorsel* out, size_t worker) {
+  assert(!ready_.empty());
+  if (worker >= last_stripe_.size()) {
+    last_stripe_.resize(worker + 1, UINT64_MAX);
+  }
+  size_t pick = 0;
+  bool matched = false;
+  if (last_stripe_[worker] != UINT64_MAX) {
+    for (size_t i = 0; i < ready_.size(); ++i) {
+      if (ready_[i].seq / kStripeLen == last_stripe_[worker]) {
+        pick = i;
+        matched = true;
+        break;
+      }
+    }
+  }
+  if (matched) ++affinity_hits_;
+  ReadyMorsel& rm = ready_[pick];
+  last_stripe_[worker] = rm.seq / kStripeLen;
+  out->rids.swap(rm.morsel.rids);
+  out->positions.swap(rm.morsel.positions);
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(pick));
+}
+
+bool MorselDriver::Fill(ParallelMorsel* morsel, size_t worker) {
+  while (ready_.size() < produce_ahead_) {
+    if (!ProduceOne()) break;
+  }
+  if (ready_.empty()) return false;
+  TakeReady(morsel, worker);
+  return true;
+}
+
+bool MorselDriver::FillFromReady(ParallelMorsel* morsel, size_t worker) {
+  if (ready_.empty()) return false;
+  TakeReady(morsel, worker);
+  return true;
+}
+
+bool MorselDriver::demotion_safe() const {
+  if (current_ == SIZE_MAX) return true;
+  const LegScan& leg = legs_[current_];
+  // A mid-pass attachment consumes in wrapped order: its processed set is
+  // not a prefix of the scan order, so no positional predicate can describe
+  // it — the coordinator must keep the driving leg.
+  return leg.shared == nullptr || !leg.shared->started_mid_pass();
 }
 
 std::optional<ScanPosition> MorselDriver::high_water() const {
   if (current_ == SIZE_MAX || dispensed_this_promotion_ == 0) {
     return std::nullopt;
   }
-  return legs_[current_].cursor->CurrentPosition();
+  const LegScan& leg = legs_[current_];
+  if (leg.shared != nullptr) return leg.shared->last_position();
+  return leg.cursor->CurrentPosition();
 }
 
 double MorselDriver::total_entries(size_t table) const {
@@ -71,11 +173,38 @@ double MorselDriver::dispensed_entries(size_t table) const {
 }
 
 bool MorselDriver::ever_promoted(size_t table) const {
-  return legs_[table].cursor != nullptr;
+  return legs_[table].promoted;
 }
 
 size_t MorselDriver::prefix_col(size_t table) const {
   return legs_[table].prefix_col;
+}
+
+uint64_t MorselDriver::shared_scan_attaches() const {
+  uint64_t n = 0;
+  for (const LegScan& leg : legs_) {
+    if (leg.shared != nullptr && leg.shared->attached_existing()) ++n;
+  }
+  return n;
+}
+
+uint64_t MorselDriver::shared_scan_passes_saved() const {
+  uint64_t n = 0;
+  for (const LegScan& leg : legs_) {
+    if (leg.shared != nullptr && leg.shared->attached_existing() &&
+        leg.shared->covered() && leg.shared->produced() == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t MorselDriver::scan_morsels_produced() const {
+  uint64_t n = morsels_produced_;
+  for (const LegScan& leg : legs_) {
+    if (leg.shared != nullptr) n += leg.shared->produced();
+  }
+  return n;
 }
 
 }  // namespace ajr

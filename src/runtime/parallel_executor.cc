@@ -26,7 +26,8 @@ StatusOr<ExecStats> ParallelPipelineExecutor::Execute(const RowSink& sink) {
   const size_t dop = std::max<size_t>(1, parallel_.dop);
   worker_stats_.assign(dop, ExecStats());
 
-  if (dop <= 1) {
+  if (dop <= 1 && !parallel_.force_parallel &&
+      parallel_.scan_registry == nullptr) {
     // Serial delegation: the exact pre-existing code path, work-unit and
     // checksum identical to a plain PipelineExecutor run.
     PipelineExecutor exec(plan_, options_);
@@ -34,6 +35,7 @@ StatusOr<ExecStats> ParallelPipelineExecutor::Execute(const RowSink& sink) {
     exec.set_metrics(metrics_);
     exec.set_fault_injection(faults_);
     exec.set_observer(ObserverFor(0));
+    exec.set_shared_cache(parallel_.shared_cache);
     StatusOr<ExecStats> result = exec.Execute(sink);
     if (result.ok()) worker_stats_[0] = *result;
     return result;
@@ -53,7 +55,12 @@ StatusOr<ExecStats> ParallelPipelineExecutor::Execute(const RowSink& sink) {
     const size_t total = plan_->entries[driving]->table().num_rows();
     morsel_size = std::clamp<size_t>(total / (dop * 16), 64, 1024);
   }
-  MorselDriver driver(plan_, morsel_size, record_positions);
+  // Read-ahead (and with it morsel affinity) only pays off with several
+  // workers; depth 1 keeps single-worker dispensing bit-identical to the
+  // pre-affinity dispenser.
+  const size_t produce_ahead = dop > 1 ? std::min<size_t>(4, dop) : 1;
+  MorselDriver driver(plan_, morsel_size, record_positions,
+                      parallel_.scan_registry, produce_ahead);
   AdaptiveCoordinator coordinator(plan_, options_, &driver,
                                   parallel_.fold_interval);
   AJR_RETURN_IF_ERROR(coordinator.Init());
@@ -65,6 +72,7 @@ StatusOr<ExecStats> ParallelPipelineExecutor::Execute(const RowSink& sink) {
     exec->set_cancellation_token(cancel_token_);
     exec->set_fault_injection(faults_);
     exec->set_observer(ObserverFor(w));
+    exec->set_shared_cache(parallel_.shared_cache);
     // No per-worker metrics: the orchestrator flushes merged totals once.
     workers.push_back(std::move(exec));
   }
@@ -81,7 +89,7 @@ StatusOr<ExecStats> ParallelPipelineExecutor::Execute(const RowSink& sink) {
   // StatusOr is not default-constructible; revoked lease slots stay nullopt.
   std::vector<std::optional<StatusOr<ExecStats>>> results(dop);
   auto run = [&](size_t w) {
-    results[w] = workers[w]->ExecuteWorker(&coordinator, locked_sink);
+    results[w] = workers[w]->ExecuteWorker(&coordinator, locked_sink, w);
   };
 
   const auto start = std::chrono::steady_clock::now();
@@ -127,6 +135,11 @@ StatusOr<ExecStats> ParallelPipelineExecutor::Execute(const RowSink& sink) {
   }
   coordinator.FinishStats(&merged);
   merged.parallel_workers = participated;
+  // Scan-sharing observability lives on the dispenser, not the workers.
+  merged.shared_scan_attaches = driver.shared_scan_attaches();
+  merged.shared_scan_passes_saved = driver.shared_scan_passes_saved();
+  merged.scan_morsels_produced = driver.scan_morsels_produced();
+  merged.scan_morsels_consumed = driver.scan_morsels_consumed();
 
   if (metrics_ != nullptr) {
     metrics_->GetCounter("exec.probe_cache_hits")->Add(merged.probe_cache_hits);
@@ -146,6 +159,24 @@ StatusOr<ExecStats> ParallelPipelineExecutor::Execute(const RowSink& sink) {
     metrics_->GetCounter("exec.parallel_morsels")->Add(merged.morsels);
     metrics_->GetCounter("exec.parallel_monitor_folds")
         ->Add(merged.monitor_folds);
+    if (parallel_.scan_registry != nullptr) {
+      metrics_->GetCounter("exec.shared_scan_attaches")
+          ->Add(merged.shared_scan_attaches);
+      metrics_->GetCounter("exec.shared_scan_passes_saved")
+          ->Add(merged.shared_scan_passes_saved);
+      metrics_->GetCounter("exec.shared_scan_morsels_produced")
+          ->Add(merged.scan_morsels_produced);
+      metrics_->GetCounter("exec.shared_scan_morsels_consumed")
+          ->Add(merged.scan_morsels_consumed);
+    }
+    if (parallel_.shared_cache != nullptr) {
+      metrics_->GetCounter("exec.probe_cache_shared_hits")
+          ->Add(merged.probe_cache_shared_hits);
+      metrics_->GetCounter("exec.probe_cache_shared_misses")
+          ->Add(merged.probe_cache_shared_misses);
+      metrics_->GetCounter("exec.probe_cache_shared_stripe_conflicts")
+          ->Add(merged.probe_cache_shared_conflicts);
+    }
   }
   return merged;
 }

@@ -26,6 +26,7 @@
 #include "common/metrics.h"
 #include "exec/pipeline_executor.h"
 #include "optimize/planner.h"
+#include "runtime/shared_scan.h"
 #include "runtime/thread_pool.h"
 
 namespace ajr {
@@ -48,6 +49,19 @@ struct ParallelExecOptions {
   size_t fold_interval = 0;
   /// Thread source for workers beyond worker 0 (null = spawn threads).
   ThreadPool* pool = nullptr;
+  /// Run the morsel-parallel orchestration even at dop <= 1 instead of
+  /// delegating to the serial executor. Used by the differential oracle to
+  /// exercise the coordinator/dispenser machinery deterministically (one
+  /// worker = serial morsel order).
+  bool force_parallel = false;
+  /// Cross-query scan sharing (runtime/shared_scan.h): promoted driving
+  /// legs attach to in-flight passes over the same scan instead of opening
+  /// private cursors. Null = every query scans privately. Implies the
+  /// parallel orchestration (the dispenser is where attachment happens).
+  SharedScanRegistry* scan_registry = nullptr;
+  /// Cross-query shared probe cache (exec/probe_cache_shared.h), handed to
+  /// every worker (and to the serial delegate). Null = no sharing.
+  SharedProbeCache* shared_cache = nullptr;
 };
 
 class ParallelPipelineExecutor {

@@ -43,6 +43,14 @@ struct QuerySpec {
   size_t dop = 1;
   /// Driving-scan entries per morsel in parallel runs.
   size_t morsel_size = 0;  ///< 0 = auto-size (see ParallelExecOptions)
+  /// Attach this query's driving scans to the engine's SharedScanRegistry:
+  /// concurrent queries over the same table ride one physical pass instead
+  /// of scanning privately (runtime/shared_scan.h). Forces the morsel-
+  /// parallel orchestration even at dop == 1.
+  bool share_scan = false;
+  /// Consult/populate the engine's cross-query SharedProbeCache
+  /// (exec/probe_cache_shared.h).
+  bool share_cache = false;
   /// Relative deadline, measured from Submit(); queue wait counts against
   /// it. nullopt = no deadline.
   std::optional<std::chrono::milliseconds> timeout;

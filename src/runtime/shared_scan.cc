@@ -1,0 +1,154 @@
+#include "runtime/shared_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ajr {
+
+SharedScanPass::SharedScanPass(std::unique_ptr<ScanCursor> cursor,
+                               size_t morsel_size, bool record_positions)
+    : cursor_(std::move(cursor)),
+      morsel_size_(std::max<size_t>(1, morsel_size)),
+      record_positions_(record_positions) {}
+
+size_t SharedScanPass::num_morsels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return morsels_.size();
+}
+
+bool SharedScanPass::complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return complete_;
+}
+
+void SharedScanPass::ProduceLocked() {
+  assert(!complete_);
+  // Mirrors MorselDriver's private fill loop exactly — same cursor call
+  // sequence, so a partial final morsel carries its failed Next's charge and
+  // the following empty pull becomes the tail, just like a private scan.
+  Morsel m;
+  WorkCounter wc;
+  Rid rid;
+  while (m.rids.size() < morsel_size_ && cursor_->Next(&wc, &rid)) {
+    m.rids.push_back(rid);
+    if (record_positions_) m.positions.push_back(cursor_->CurrentPosition());
+  }
+  if (m.rids.empty()) {
+    complete_ = true;
+    tail_work_ = wc.total();
+    return;
+  }
+  m.end = cursor_->CurrentPosition();
+  m.work = wc.total();
+  morsels_.push_back(std::move(m));
+}
+
+SharedScanAttachment::~SharedScanAttachment() {
+  if (pass_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(pass_->mu_);
+  --pass_->live_attachments_;
+}
+
+bool SharedScanAttachment::Next(ParallelMorsel* morsel, WorkCounter* wc) {
+  if (covered_) return false;
+  SharedScanPass& pass = *pass_;
+  std::lock_guard<std::mutex> lock(pass.mu_);
+  for (;;) {
+    if (wrapped_ && next_ == start_) break;  // full circle: covered
+    if (next_ < pass.morsels_.size()) {
+      const SharedScanPass::Morsel& m = pass.morsels_[next_];
+      morsel->rids.assign(m.rids.begin(), m.rids.end());
+      morsel->positions.assign(m.positions.begin(), m.positions.end());
+      wc->Add(m.work);
+      last_end_ = m.end;
+      ++next_;
+      ++consumed_;
+      return true;
+    }
+    // At the frontier. A completed pass either wraps this attachment or
+    // finishes it; an in-flight pass grows by one cooperative production.
+    if (pass.complete_) {
+      if (!wrapped_ && start_ > 0) {
+        wrapped_ = true;
+        next_ = 0;
+        continue;
+      }
+      break;  // consumed [start, end) and — if wrapping — [0, start): covered
+    }
+    pass.ProduceLocked();
+    if (!pass.complete_) ++produced_;
+  }
+  covered_ = true;
+  // The tail (the scan's final empty cursor pull) is charged once per
+  // attachment, completing work parity with a private scan.
+  wc->Add(pass.tail_work_);
+  return false;
+}
+
+void SharedScanRegistry::AttachOrCreate(
+    const std::string& sig,
+    const std::function<std::unique_ptr<ScanCursor>()>& make_cursor,
+    size_t morsel_size, bool record_positions, SharedScanAttachment* att) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  for (Entry& e : passes_) {
+    if (e.sig != sig) continue;
+    e.last_use = tick_;
+    att->pass_ = e.pass;
+    att->attached_existing_ = true;
+    {
+      std::lock_guard<std::mutex> pass_lock(e.pass->mu_);
+      // An in-flight pass with live attachments is joined at its frontier
+      // (circular attach: ride the producers' momentum). A completed pass
+      // — or a stalled one, left incomplete by a finished query — is
+      // replayed front to back: the joiner drives production itself, so
+      // joining mid-pass would only scramble its scan order (and cost it
+      // demotion safety) for nothing.
+      att->start_ = e.pass->complete_ || e.pass->live_attachments_ == 0
+                        ? 0
+                        : e.pass->morsels_.size();
+      ++e.pass->live_attachments_;
+    }
+    att->next_ = att->start_;
+    att->wrapped_ = false;
+    att->covered_ = false;
+    return;
+  }
+  // No matching pass: create one, evicting the stalest unpinned pass when
+  // the table is full (passes with live attachments are pinned; completed
+  // and stalled passes are fair game).
+  auto evictable = [](const Entry& e) {
+    std::lock_guard<std::mutex> pass_lock(e.pass->mu_);
+    return e.pass->complete_ || e.pass->live_attachments_ == 0;
+  };
+  if (passes_.size() >= kMaxRetainedPasses) {
+    size_t victim = SIZE_MAX;
+    for (size_t i = 0; i < passes_.size(); ++i) {
+      if (!evictable(passes_[i])) continue;
+      if (victim == SIZE_MAX || passes_[i].last_use < passes_[victim].last_use) {
+        victim = i;
+      }
+    }
+    if (victim != SIZE_MAX) passes_.erase(passes_.begin() + victim);
+  }
+  Entry e;
+  e.sig = sig;
+  e.pass = std::make_shared<SharedScanPass>(make_cursor(), morsel_size,
+                                            record_positions);
+  e.pass->live_attachments_ = 1;
+  e.last_use = tick_;
+  att->pass_ = e.pass;
+  att->attached_existing_ = false;
+  att->start_ = 0;
+  att->next_ = 0;
+  att->wrapped_ = false;
+  att->covered_ = false;
+  passes_.push_back(std::move(e));
+}
+
+size_t SharedScanRegistry::num_passes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return passes_.size();
+}
+
+}  // namespace ajr

@@ -1,0 +1,185 @@
+// SharedScanRegistry: cross-query sharing of driving-scan passes.
+//
+// N concurrent queries over the same table pay N physical scans in the
+// isolated runtime. This registry lets a MorselDriver leg whose scan
+// signature (table, index, key ranges, morsel size, position recording)
+// matches an in-flight pass *attach* to it instead of opening a private
+// cursor: the pass's morsels are produced physically once and replayed to
+// every attachment, each of which charges the recorded per-morsel work
+// units to its own query — so every query accounts for exactly the work a
+// private scan would have charged, bit for bit (the oracle's --share axis
+// compares the two paths).
+//
+// Circular attach (the classic shared-scan protocol): a late joiner starts
+// at the pass's current frontier, consumes forward to the end of the scan,
+// then wraps to morsel 0 and consumes up to its start point before
+// detaching — one full cover of the scan, most of it riding morsels that
+// were (or will be) produced anyway. Production is cooperative: whichever
+// attachment reaches the frontier first produces the next morsel under the
+// pass lock. Completed passes are retained (small LRU) so closed-loop
+// traffic re-running the same query attaches warm and performs no physical
+// scan at all.
+//
+// Per-attachment bookkeeping keeps adaptation exact: an attachment knows
+// the scan position after its last consumed morsel (the per-query
+// high-water mark a demotion's positional predicate is built from) and
+// whether it started mid-pass — a wrapped attachment's processed set is
+// not a prefix of the scan order, so its driver reports demotion_safe() =
+// false and the coordinator keeps the driving leg (see
+// DrivingSource::demotion_safe).
+//
+// Thread safety: the registry map is behind its own mutex; each pass is
+// behind its own mutex (a leaf lock — pass code calls only the cursor).
+// Attachments are single-owner (one MorselDriver leg each) and call into
+// the pass under its lock.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/work_counter.h"
+#include "exec/adaptive_coordinator.h"
+#include "storage/cursors.h"
+#include "storage/scan_position.h"
+
+namespace ajr {
+
+class SharedScanPass;
+
+/// One query's view of a shared pass: a cursor over the pass's morsels
+/// following the circular-attach protocol. Single-owner (one MorselDriver
+/// leg); Next() may be called again after it returned false only following
+/// external re-promotion logic (it keeps returning false once covered).
+class SharedScanAttachment {
+ public:
+  SharedScanAttachment() = default;
+  /// Detaching drops the pass's live-attachment count; a pass with no live
+  /// attachments is "stalled" (nobody will drive it forward) and is joined
+  /// at morsel 0, not at its frontier, by the next attachment.
+  ~SharedScanAttachment();
+  SharedScanAttachment(const SharedScanAttachment&) = delete;
+  SharedScanAttachment& operator=(const SharedScanAttachment&) = delete;
+
+  /// Copies the attachment's next uncovered morsel into `morsel` (rids and,
+  /// when the pass records them, positions), charges the morsel's recorded
+  /// production work to `wc`, and returns true. Returns false once the
+  /// attachment has covered the whole pass — charging the scan's tail work
+  /// (the final empty cursor pull) exactly once, so the attachment's total
+  /// equals a private scan's.
+  bool Next(ParallelMorsel* morsel, WorkCounter* wc);
+
+  /// True when this attachment joined mid-pass (its consumption order wraps,
+  /// so its processed set is not a scan prefix — demotion-unsafe).
+  bool started_mid_pass() const { return start_ > 0; }
+
+  /// True when this attachment joined an existing pass rather than creating
+  /// one.
+  bool attached_existing() const { return attached_existing_; }
+
+  /// Position after the last consumed morsel (per-attachment high water);
+  /// nullopt before the first consumed morsel.
+  const std::optional<ScanPosition>& last_position() const { return last_end_; }
+
+  bool covered() const { return covered_; }
+  /// Morsels this attachment physically produced / consumed.
+  uint64_t produced() const { return produced_; }
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  friend class SharedScanRegistry;
+
+  std::shared_ptr<SharedScanPass> pass_;
+  size_t start_ = 0;  ///< frontier at attach; wrap target
+  size_t next_ = 0;   ///< next pass morsel to consume
+  bool wrapped_ = false;
+  bool covered_ = false;
+  bool attached_existing_ = false;
+  uint64_t produced_ = 0;
+  uint64_t consumed_ = 0;
+  std::optional<ScanPosition> last_end_;
+};
+
+/// Process-wide pass table. One instance per QueryEngine (or per test).
+class SharedScanRegistry {
+ public:
+  /// Passes retained after completion for warm reuse (total map cap; the
+  /// oldest completed pass is evicted first, in-flight passes never are).
+  static constexpr size_t kMaxRetainedPasses = 8;
+
+  /// Attaches `att` to the pass registered under `sig`, creating the pass
+  /// with a cursor from `make_cursor` when none exists. An in-flight pass
+  /// with live attachments is joined at its current frontier (circular
+  /// attach); a retained completed pass — or a stalled incomplete one,
+  /// whose producer finished without draining the scan — is replayed from
+  /// morsel 0, in scan order (the joiner drives any remaining production
+  /// itself, so there is nothing to gain from starting mid-pass).
+  void AttachOrCreate(
+      const std::string& sig,
+      const std::function<std::unique_ptr<ScanCursor>()>& make_cursor,
+      size_t morsel_size, bool record_positions, SharedScanAttachment* att);
+
+  /// Registered passes (diagnostics).
+  size_t num_passes() const;
+
+ private:
+  struct Entry {
+    std::string sig;
+    std::shared_ptr<SharedScanPass> pass;
+    uint64_t last_use = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> passes_;
+  uint64_t tick_ = 0;
+};
+
+/// One shared scan pass: the physical cursor plus every morsel it has
+/// produced, each with its recorded production work and end position.
+/// Morsels are produced exactly as a private MorselDriver fills them (same
+/// cursor call sequence), so replayed work is bit-identical to an unshared
+/// scan. Internal to the registry/attachment protocol; exposed for tests.
+class SharedScanPass {
+ public:
+  SharedScanPass(std::unique_ptr<ScanCursor> cursor, size_t morsel_size,
+                 bool record_positions);
+
+  size_t morsel_size() const { return morsel_size_; }
+  bool record_positions() const { return record_positions_; }
+  /// Frontier / completion snapshot (takes the pass lock).
+  size_t num_morsels() const;
+  bool complete() const;
+
+ private:
+  friend class SharedScanAttachment;
+  friend class SharedScanRegistry;
+
+  /// One produced morsel (immutable once pushed).
+  struct Morsel {
+    std::vector<Rid> rids;
+    std::vector<ScanPosition> positions;
+    ScanPosition end;   ///< cursor position after the last rid
+    uint64_t work = 0;  ///< work units the producing cursor pull charged
+  };
+
+  /// Produces the next morsel from the cursor (one private-Fill-equivalent
+  /// pull); sets complete_ and tail_work_ when the pull comes back empty.
+  /// Pre: pass lock held, !complete_.
+  void ProduceLocked();
+
+  mutable std::mutex mu_;
+  std::unique_ptr<ScanCursor> cursor_;
+  size_t morsel_size_;
+  bool record_positions_;
+  std::vector<Morsel> morsels_;
+  bool complete_ = false;
+  uint64_t tail_work_ = 0;  ///< work of the final empty cursor pull
+  size_t live_attachments_ = 0;
+};
+
+}  // namespace ajr

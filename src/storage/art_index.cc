@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/check.h"
 #include "common/string_util.h"
 
@@ -232,6 +236,34 @@ int ArtIndex::CompareToGroup(const IndexKey& key, size_t g) const {
   return c < 0 ? -1 : (c > 0 ? 1 : 0);
 }
 
+uint32_t ArtIndex::Node16LowerBoundScalar(const uint8_t* keys, uint32_t count,
+                                          uint8_t b) {
+  for (uint32_t i = 0; i < count; ++i) {
+    if (keys[i] >= b) return i;
+  }
+  return count;
+}
+
+uint32_t ArtIndex::Node16LowerBound(const uint8_t* keys, uint32_t count,
+                                    uint8_t b) {
+#if defined(__SSE2__)
+  // SSE2 has only signed byte compares; XOR-ing both sides with 0x80 maps
+  // unsigned order onto signed order. The keys ascend, so the lanes below b
+  // form a contiguous low run and the lower bound is their popcount.
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i k =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys));
+  const __m128i lt =
+      _mm_cmplt_epi8(_mm_xor_si128(k, bias),
+                     _mm_xor_si128(_mm_set1_epi8(static_cast<char>(b)), bias));
+  const uint32_t mask = static_cast<uint32_t>(_mm_movemask_epi8(lt)) &
+                        ((1u << count) - 1);
+  return static_cast<uint32_t>(__builtin_popcount(mask));
+#else
+  return Node16LowerBoundScalar(keys, count, b);
+#endif
+}
+
 ArtIndex::Descent ArtIndex::Descend(const IndexKey& key, const uint8_t* bytes,
                                     size_t len) const {
   Descent d;
@@ -292,13 +324,7 @@ ArtIndex::Descent ArtIndex::Descend(const IndexKey& key, const uint8_t* bytes,
       }
       case kTagNode16: {
         const Node16& nd = node16_[RefPayload(ref)];
-        uint32_t idx = nd.count;
-        for (uint32_t i = 0; i < nd.count; ++i) {
-          if (nd.keys[i] >= b) {
-            idx = i;
-            break;
-          }
-        }
+        uint32_t idx = Node16LowerBound(nd.keys, nd.count, b);
         if (idx < nd.count && nd.keys[idx] == b) {
           child = nd.children[idx];
         } else if (idx > 0) {

@@ -96,6 +96,17 @@ class ArtIndex final : public Index {
   /// RID spans ascend, and the canonical leaf shape covers size() entries.
   Status CheckInvariants() const;
 
+  /// Index of the first key in keys[0..count) with keys[i] >= b, or `count`
+  /// when every key is below b. Keys ascend and are unique (Node16's layout
+  /// invariant); `keys` must be readable for a full 16 bytes regardless of
+  /// count, exactly like Node16::keys. SSE2 when the target has it, scalar
+  /// otherwise — art_index_test asserts the two agree on every (keys, b).
+  static uint32_t Node16LowerBound(const uint8_t* keys, uint32_t count,
+                                   uint8_t b);
+  /// Portable reference implementation of Node16LowerBound.
+  static uint32_t Node16LowerBoundScalar(const uint8_t* keys, uint32_t count,
+                                         uint8_t b);
+
  private:
   ArtIndex() = default;
 

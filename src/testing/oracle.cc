@@ -242,6 +242,45 @@ std::vector<DifferentialConfig> ConfigsForBackend(IndexBackend backend) {
   return out;
 }
 
+std::vector<DifferentialConfig> ConfigsForShare() {
+  using Share = DifferentialConfig::Share;
+  // All share configs run the morsel-parallel orchestration at dop 1 (one
+  // worker consumes morsels in dispenser order, so runs are deterministic
+  // and the four modes can be held to bit-identical work in one class).
+  auto mk = [](const char* name, AdaptiveOptions adaptive, const char* cls,
+               Share share) {
+    DifferentialConfig c;
+    c.name = name;
+    c.adaptive = adaptive;
+    c.stats_tier = StatsTier::kBase;
+    c.work_class = cls;
+    c.dop = 1;
+    c.morsel_size = 5;
+    c.share = share;
+    c.force_parallel = true;
+    return c;
+  };
+  // The aggressive options demote and re-promote constantly, so the shared
+  // modes exercise kept-attachment resumption and epoch-tagged shared-cache
+  // retirement under maximum switching churn.
+  AdaptiveOptions aggressive = AggressiveAdaptiveOptions();
+  std::vector<DifferentialConfig> out = {
+      mk("share-off", AdaptiveOptions{}, "share", Share::kOff),
+      mk("share-scan", AdaptiveOptions{}, "share", Share::kScan),
+      mk("share-cache", AdaptiveOptions{}, "share", Share::kCache),
+      mk("share-both", AdaptiveOptions{}, "share", Share::kBoth),
+      mk("share-off/aggressive", aggressive, "share-aggressive", Share::kOff),
+      mk("share-both/aggressive", aggressive, "share-aggressive", Share::kBoth),
+  };
+  // Concurrency smoke: two workers over one shared pass and striped cache.
+  // Classless — morsel interleaving makes per-run work timing-dependent.
+  DifferentialConfig dop2 =
+      mk("share-both/dop2", AdaptiveOptions{}, "", Share::kBoth);
+  dop2.dop = 2;
+  out.push_back(dop2);
+  return out;
+}
+
 std::vector<DifferentialConfig> ConfigsForPolicy(PolicyKind kind) {
   std::vector<DifferentialConfig> out;
   for (DifferentialConfig& config : DefaultConfigs()) {
@@ -378,62 +417,120 @@ StatusOr<std::optional<FailureReport>> RunDifferential(
       return std::optional<FailureReport>(std::move(failure));
     }
 
-    if (config.dop > 1) {
+    if (config.dop > 1 || config.force_parallel) {
       // Morsel-parallel run: one InvariantChecker per worker (each worker
       // is a full serial pipeline over its share of driving rows, so I1-I5
       // are per-worker properties), a cross-worker duplicate check, and
       // the usual result comparison on the merged row multiset.
-      ParallelExecOptions popts;
-      popts.dop = config.dop;
-      popts.morsel_size = config.morsel_size;
-      ParallelPipelineExecutor exec(plan->get(), config.adaptive, popts);
-      std::vector<std::unique_ptr<InvariantChecker>> checkers;
-      if (options.check_invariants) {
-        std::vector<ExecObserver*> observers;
-        for (size_t w = 0; w < config.dop; ++w) {
-          checkers.push_back(std::make_unique<InvariantChecker>(cardinalities));
-          observers.push_back(checkers.back().get());
-        }
-        exec.set_worker_observers(std::move(observers));
-      }
-      if (options.faults != nullptr) exec.set_fault_injection(options.faults);
-
-      std::vector<Row> rows;
-      auto stats = exec.Execute([&rows](const Row& r) { rows.push_back(r); });
-      if (!stats.ok()) {
-        failure.kind = "error";
-        failure.detail = StrCat("executor: ", stats.status().ToString());
-        return std::optional<FailureReport>(std::move(failure));
-      }
-      if (options.check_invariants) {
-        uint64_t emitted_total = 0;
-        std::unordered_set<std::string> all_keys;
-        for (size_t w = 0; w < checkers.size(); ++w) {
-          checkers[w]->FinalCheck(exec.worker_stats()[w]);
-          if (!checkers[w]->ok()) {
-            failure.kind = "invariant";
-            for (const std::string& v : checkers[w]->violations()) {
-              failure.detail += StrCat("worker ", w, ": ", v, "\n");
-            }
-            return std::optional<FailureReport>(std::move(failure));
+      //
+      // Sharing configs (--share axis) run TWICE against one registry/
+      // cache pair: the cold run populates them, the warm run attaches to
+      // the retained pass / hits the cached probes, and the two runs must
+      // do bit-identical logical work — replay may change how work is
+      // performed, never what work the controller sees.
+      SharedScanRegistry scan_registry;
+      SharedProbeCache shared_probe_cache;
+      const bool share_scan = config.share == DifferentialConfig::Share::kScan ||
+                              config.share == DifferentialConfig::Share::kBoth;
+      const bool share_cache =
+          config.share == DifferentialConfig::Share::kCache ||
+          config.share == DifferentialConfig::Share::kBoth;
+      const size_t runs =
+          config.share == DifferentialConfig::Share::kOff ? 1 : 2;
+      std::optional<ExecStats> cold_stats;
+      for (size_t run = 0; run < runs; ++run) {
+        ParallelExecOptions popts;
+        popts.dop = config.dop;
+        popts.morsel_size = config.morsel_size;
+        popts.force_parallel = config.force_parallel;
+        if (share_scan) popts.scan_registry = &scan_registry;
+        if (share_cache) popts.shared_cache = &shared_probe_cache;
+        ParallelPipelineExecutor exec(plan->get(), config.adaptive, popts);
+        std::vector<std::unique_ptr<InvariantChecker>> checkers;
+        if (options.check_invariants) {
+          std::vector<ExecObserver*> observers;
+          for (size_t w = 0; w < config.dop; ++w) {
+            checkers.push_back(std::make_unique<InvariantChecker>(cardinalities));
+            observers.push_back(checkers.back().get());
           }
-          emitted_total += checkers[w]->emitted();
-          all_keys.insert(checkers[w]->emitted_keys().begin(),
-                          checkers[w]->emitted_keys().end());
+          exec.set_worker_observers(std::move(observers));
         }
-        if (all_keys.size() != emitted_total) {
-          failure.kind = "invariant";
-          failure.detail =
-              StrCat("I1: ", emitted_total, " emits across workers but only ",
-                     all_keys.size(),
-                     " distinct RID tuples (cross-worker duplicate)\n");
+        if (options.faults != nullptr) exec.set_fault_injection(options.faults);
+
+        std::vector<Row> rows;
+        auto stats = exec.Execute([&rows](const Row& r) { rows.push_back(r); });
+        if (!stats.ok()) {
+          failure.kind = "error";
+          failure.detail = StrCat("executor: ", stats.status().ToString());
           return std::optional<FailureReport>(std::move(failure));
         }
+        if (options.check_invariants) {
+          uint64_t emitted_total = 0;
+          std::unordered_set<std::string> all_keys;
+          for (size_t w = 0; w < checkers.size(); ++w) {
+            checkers[w]->FinalCheck(exec.worker_stats()[w]);
+            if (!checkers[w]->ok()) {
+              failure.kind = "invariant";
+              for (const std::string& v : checkers[w]->violations()) {
+                failure.detail += StrCat("worker ", w, ": ", v, "\n");
+              }
+              return std::optional<FailureReport>(std::move(failure));
+            }
+            emitted_total += checkers[w]->emitted();
+            all_keys.insert(checkers[w]->emitted_keys().begin(),
+                            checkers[w]->emitted_keys().end());
+          }
+          if (all_keys.size() != emitted_total) {
+            failure.kind = "invariant";
+            failure.detail =
+                StrCat("I1: ", emitted_total, " emits across workers but only ",
+                       all_keys.size(),
+                       " distinct RID tuples (cross-worker duplicate)\n");
+            return std::optional<FailureReport>(std::move(failure));
+          }
+        }
+        if (std::optional<std::string> diff =
+                CompareSortedRows(expected, &rows)) {
+          failure.kind = "result-mismatch";
+          failure.detail =
+              StrCat(run == 0 ? "" : "warm re-run: ", std::move(*diff));
+          return std::optional<FailureReport>(std::move(failure));
+        }
+        if (run == 0) {
+          cold_stats = *stats;
+        } else if (config.dop <= 1) {
+          // Warm-vs-cold work identity is a single-worker property; at
+          // dop > 1 morsel interleaving makes per-run work timing-
+          // dependent (the warm run still checks results + invariants).
+          if (std::optional<std::string> diff =
+                  WorkStatsDiff(*cold_stats, *stats)) {
+            failure.kind = "work-divergence";
+            failure.detail = StrCat(
+                "warm re-run against the retained registry/cache diverges "
+                "from the cold run: ",
+                *diff);
+            return std::optional<FailureReport>(std::move(failure));
+          }
+        }
       }
-      if (std::optional<std::string> diff = CompareSortedRows(expected, &rows)) {
-        failure.kind = "result-mismatch";
-        failure.detail = std::move(*diff);
-        return std::optional<FailureReport>(std::move(failure));
+      // Forced-parallel single-worker runs are deterministic, so they may
+      // join a work_class (real dop > 1 configs stay classless).
+      if (config.dop <= 1 && !config.work_class.empty()) {
+        size_t cls = 0;
+        while (cls < class_names.size() && class_names[cls] != config.work_class) {
+          ++cls;
+        }
+        if (cls == class_names.size()) {
+          class_names.push_back(config.work_class);
+          class_stats.emplace_back(config.name, *cold_stats);
+        } else if (std::optional<std::string> diff =
+                       WorkStatsDiff(class_stats[cls].second, *cold_stats)) {
+          failure.kind = "work-divergence";
+          failure.detail = StrCat("logical work differs from config \"",
+                                  class_stats[cls].first, "\" (work_class \"",
+                                  config.work_class, "\"): ", *diff);
+          return std::optional<FailureReport>(std::move(failure));
+        }
       }
       continue;
     }

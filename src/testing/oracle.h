@@ -68,6 +68,16 @@ struct DifferentialConfig {
   /// small fuzz query still crosses many morsel boundaries, folds, and
   /// drain barriers.
   size_t morsel_size = 5;
+  /// Cross-query sharing mode (the --share axis): which of the shared scan
+  /// registry and the striped shared probe cache the run attaches to.
+  enum class Share { kOff, kScan, kCache, kBoth };
+  Share share = Share::kOff;
+  /// Run the morsel-parallel orchestration even at dop == 1 (deterministic:
+  /// one worker consumes morsels in dispenser order). Sharing configs set
+  /// this so all four Share modes run the identical code path and can share
+  /// a work_class; serial-path configs must never join such a class (the
+  /// coordinator's event strings differ from the serial executor's).
+  bool force_parallel = false;
 };
 
 /// The default configuration spread: static plan, paper defaults, and an
@@ -92,6 +102,17 @@ std::vector<DifferentialConfig> ConfigsForPolicy(PolicyKind kind);
 /// against the reference AND bit-identical work/stat accounting between the
 /// backends within each class (fuzz_differential --index=<name>).
 std::vector<DifferentialConfig> ConfigsForBackend(IndexBackend backend);
+
+/// The cross-query sharing axis (fuzz_differential --share): the four
+/// Share modes at forced-parallel dop 1 in one work_class — shared scans
+/// replay per-morsel work and the shared cache replays as-if-fresh probe
+/// triples, so work units, decision traces, events, and results must be
+/// bit-identical to sharing-off — plus a dop-2 share-both config (classless:
+/// morsel interleaving is timing-dependent). Every sharing config is
+/// additionally run twice against the same registry/cache, and the warm
+/// re-run must be work-identical to the cold one (retained passes and
+/// cached probes replay, never change, the work).
+std::vector<DifferentialConfig> ConfigsForShare();
 
 /// The aggressive AdaptiveOptions used by DefaultConfigs (exported for
 /// tests that want maximum switching on their own plans).

@@ -8,7 +8,10 @@
 #include <vector>
 
 #include "exec/pipeline_executor.h"
+#include "exec/probe_cache_shared.h"
 #include "optimize/planner.h"
+#include "runtime/parallel_executor.h"
+#include "runtime/shared_scan.h"
 #include "workload/dmv.h"
 #include "workload/templates.h"
 
@@ -236,6 +239,69 @@ TEST(MetricsRegistryTest, ExecutorExportsPolicyCounters) {
             stats->inner_checks + stats->driving_checks);
   // Rank policy reports no regret: it never explores.
   EXPECT_EQ(stats->policy_regret_x1000, 0u);
+}
+
+TEST(MetricsRegistryTest, ParallelExecutorExportsSharingCounters) {
+  // Two runs of one query against the same SharedScanRegistry and
+  // SharedProbeCache: the warm run attaches to the retained pass (a full
+  // physical pass saved) and hits the shared cache, and the executor must
+  // flush both into the exec.shared_scan_* / exec.probe_cache_shared_*
+  // counters, each equal to the cumulative ExecStats totals.
+  Catalog catalog;
+  DmvConfig config;
+  config.num_owners = 500;
+  ASSERT_TRUE(GenerateDmv(&catalog, config).ok());
+  Planner planner(&catalog);
+  auto plan = planner.Plan(DmvQueryGenerator::Example1());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  MetricsRegistry reg;
+  SharedScanRegistry scan_registry;
+  SharedProbeCache shared_cache;
+  ParallelExecOptions popts;
+  popts.dop = 1;
+  popts.force_parallel = true;  // one worker: deterministic morsel order
+  popts.morsel_size = 64;
+  popts.scan_registry = &scan_registry;
+  popts.shared_cache = &shared_cache;
+
+  ExecStats total;
+  for (int run = 0; run < 2; ++run) {
+    ParallelPipelineExecutor exec(plan->get(), AdaptiveOptions{}, popts);
+    exec.set_metrics(&reg);
+    auto stats = exec.Execute(nullptr);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    total.shared_scan_attaches += stats->shared_scan_attaches;
+    total.shared_scan_passes_saved += stats->shared_scan_passes_saved;
+    total.probe_cache_shared_hits += stats->probe_cache_shared_hits;
+    total.probe_cache_shared_misses += stats->probe_cache_shared_misses;
+    total.probe_cache_shared_conflicts += stats->probe_cache_shared_conflicts;
+  }
+
+  for (const char* name :
+       {"exec.shared_scan_attaches", "exec.shared_scan_passes_saved",
+        "exec.shared_scan_morsels_produced", "exec.shared_scan_morsels_consumed",
+        "exec.probe_cache_shared_hits", "exec.probe_cache_shared_misses",
+        "exec.probe_cache_shared_stripe_conflicts"}) {
+    ASSERT_NE(reg.FindCounter(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.FindCounter("exec.shared_scan_attaches")->value(),
+            total.shared_scan_attaches);
+  EXPECT_EQ(reg.FindCounter("exec.shared_scan_passes_saved")->value(),
+            total.shared_scan_passes_saved);
+  EXPECT_EQ(reg.FindCounter("exec.probe_cache_shared_hits")->value(),
+            total.probe_cache_shared_hits);
+  EXPECT_EQ(reg.FindCounter("exec.probe_cache_shared_misses")->value(),
+            total.probe_cache_shared_misses);
+  EXPECT_EQ(reg.FindCounter("exec.probe_cache_shared_stripe_conflicts")->value(),
+            total.probe_cache_shared_conflicts);
+  // The warm run re-attached (one attach per promoted leg of run 2) and
+  // replayed the retained pass without a physical scan.
+  EXPECT_GT(total.shared_scan_attaches, 0u);
+  EXPECT_GT(total.shared_scan_passes_saved, 0u);
+  EXPECT_GT(total.probe_cache_shared_hits, 0u);
+  // Single-threaded runs must never see stripe-lock contention.
+  EXPECT_EQ(total.probe_cache_shared_conflicts, 0u);
 }
 
 TEST(MetricsRegistryTest, ConcurrentGetAndRecord) {

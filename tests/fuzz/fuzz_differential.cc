@@ -11,7 +11,7 @@
 //   fuzz_differential [--seed N] [--count N] [--duration SECONDS]
 //                     [--jobs N] [--inject none|nopos|dup]
 //                     [--policy rank|regret|static] [--index btree|art]
-//                     [--wide] [--expect-failure] [--no-shrink]
+//                     [--share] [--wide] [--expect-failure] [--no-shrink]
 //                     [--start-seed N]
 //
 //   --seed N          run exactly seed N (replay mode)
@@ -30,6 +30,11 @@
 //                     so result multisets AND work/stat accounting are
 //                     compared across btree/art on every seed (mutually
 //                     exclusive with --policy)
+//   --share           run the cross-query sharing axis: shared-scan /
+//                     shared-probe-cache modes in one work_class against
+//                     sharing-off, each warm-re-run against its retained
+//                     registry/cache (mutually exclusive with the other
+//                     axes)
 //   --expect-failure  exit 0 only if a failure IS found (oracle self-test)
 //   --no-shrink       print the raw failing spec without minimizing
 //
@@ -73,6 +78,7 @@ struct Flags {
   std::string inject = "none";
   std::optional<ajr::PolicyKind> policy;
   std::optional<ajr::IndexBackend> index;
+  bool share = false;
   bool wide = false;
   bool expect_failure = false;
   bool no_shrink = false;
@@ -133,6 +139,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
         std::fprintf(stderr, "--index must be btree|art, got %s\n", v);
         return false;
       }
+    } else if (std::strcmp(arg, "--share") == 0) {
+      flags->share = true;
     } else if (std::strcmp(arg, "--wide") == 0) {
       flags->wide = true;
     } else if (std::strcmp(arg, "--expect-failure") == 0) {
@@ -196,8 +204,12 @@ int main(int argc, char** argv) {
   faults.double_emit = flags.inject == "dup";
   DifferentialOptions options;
   if (flags.inject != "none") options.faults = &faults;
-  if (flags.policy.has_value() && flags.index.has_value()) {
-    std::fprintf(stderr, "--policy and --index are mutually exclusive axes\n");
+  if (static_cast<int>(flags.policy.has_value()) +
+          static_cast<int>(flags.index.has_value()) +
+          static_cast<int>(flags.share) >
+      1) {
+    std::fprintf(stderr,
+                 "--policy, --index, and --share are mutually exclusive axes\n");
     return 2;
   }
   if (flags.policy.has_value()) {
@@ -205,6 +217,9 @@ int main(int argc, char** argv) {
   }
   if (flags.index.has_value()) {
     options.configs = ajr::testing::ConfigsForBackend(*flags.index);
+  }
+  if (flags.share) {
+    options.configs = ajr::testing::ConfigsForShare();
   }
 
   SharedState shared;
@@ -237,13 +252,13 @@ int main(int argc, char** argv) {
           .count();
   std::printf(
       "fuzz_differential: %llu cases in %.1fs (%.0f cases/s), inject=%s, "
-      "policy=%s, index=%s, profile=%s\n",
+      "policy=%s, index=%s, share=%s, profile=%s\n",
       static_cast<unsigned long long>(shared.cases_run.load()), elapsed,
       shared.cases_run.load() / (elapsed > 0 ? elapsed : 1),
       flags.inject.c_str(),
       flags.policy.has_value() ? ajr::PolicyKindName(*flags.policy) : "all",
       flags.index.has_value() ? ajr::IndexBackendName(*flags.index) : "all",
-      flags.wide ? "wide" : "default");
+      flags.share ? "on" : "off", flags.wide ? "wide" : "default");
 
   if (!shared.harness_error.empty()) {
     std::fprintf(stderr, "HARNESS ERROR: %s\n", shared.harness_error.c_str());
@@ -278,6 +293,8 @@ int main(int argc, char** argv) {
     axis = std::string(" --policy ") + ajr::PolicyKindName(*flags.policy);
   } else if (flags.index.has_value()) {
     axis = std::string(" --index ") + ajr::IndexBackendName(*flags.index);
+  } else if (flags.share) {
+    axis = " --share";
   }
   std::printf("replay: fuzz_differential --seed %llu --inject %s%s%s\n",
               static_cast<unsigned long long>(shared.failure->seed),

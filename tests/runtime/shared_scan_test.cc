@@ -1,0 +1,217 @@
+#include "runtime/shared_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/work_counter.h"
+#include "storage/cursors.h"
+#include "storage/heap_table.h"
+
+namespace ajr {
+namespace {
+
+// A small table whose full scan crosses several morsel boundaries and ends
+// on a partial morsel (23 rows / morsel 5 = 4 full + 1 partial).
+constexpr size_t kRows = 23;
+constexpr size_t kMorsel = 5;
+
+std::unique_ptr<HeapTable> MakeTable() {
+  auto t = std::make_unique<HeapTable>(
+      "t", Schema({{"id", DataType::kInt64}}));
+  for (size_t i = 0; i < kRows; ++i) {
+    EXPECT_TRUE(t->Append({Value(static_cast<int64_t>(i))}).ok());
+  }
+  return t;
+}
+
+/// The reference: a private MorselDriver-style fill loop over its own
+/// cursor — morsel boundaries, the partial tail morsel, and the final
+/// empty pull's charge are exactly what shared attachments must replay.
+struct PrivateScan {
+  std::vector<std::vector<Rid>> morsels;
+  uint64_t work = 0;
+};
+
+PrivateScan RunPrivate(const HeapTable& t) {
+  PrivateScan out;
+  WorkCounter wc;
+  TableScanCursor cursor(&t);
+  Rid rid;
+  for (;;) {
+    std::vector<Rid> m;
+    while (m.size() < kMorsel && cursor.Next(&wc, &rid)) m.push_back(rid);
+    if (m.empty()) break;
+    out.morsels.push_back(std::move(m));
+  }
+  out.work = wc.total();
+  return out;
+}
+
+/// Drains an attachment to cover, returning its charged work total.
+uint64_t Drain(SharedScanAttachment* att,
+               std::vector<std::vector<Rid>>* morsels) {
+  WorkCounter wc;
+  ParallelMorsel m;
+  while (att->Next(&m, &wc)) morsels->push_back(m.rids);
+  return wc.total();
+}
+
+std::vector<Rid> Flatten(const std::vector<std::vector<Rid>>& morsels) {
+  std::vector<Rid> out;
+  for (const auto& m : morsels) out.insert(out.end(), m.begin(), m.end());
+  return out;
+}
+
+void Attach(SharedScanRegistry* reg, const HeapTable& t,
+            SharedScanAttachment* att) {
+  reg->AttachOrCreate(
+      "sig", [&t] { return std::make_unique<TableScanCursor>(&t); }, kMorsel,
+      /*record_positions=*/false, att);
+}
+
+TEST(SharedScanTest, SingleAttachmentMatchesPrivateScanExactly) {
+  auto t = MakeTable();
+  const PrivateScan ref = RunPrivate(*t);
+  ASSERT_EQ(ref.morsels.size(), 5u);
+
+  SharedScanRegistry reg;
+  SharedScanAttachment att;
+  Attach(&reg, *t, &att);
+  EXPECT_FALSE(att.attached_existing());
+  EXPECT_FALSE(att.started_mid_pass());
+
+  std::vector<std::vector<Rid>> got;
+  const uint64_t work = Drain(&att, &got);
+  EXPECT_EQ(got, ref.morsels) << "shared morsel stream diverged from private";
+  EXPECT_EQ(work, ref.work) << "replayed work is not bit-identical";
+  EXPECT_TRUE(att.covered());
+  EXPECT_EQ(att.produced(), ref.morsels.size());
+  EXPECT_EQ(att.consumed(), ref.morsels.size());
+  EXPECT_EQ(reg.num_passes(), 1u);
+}
+
+TEST(SharedScanTest, MidPassJoinerWrapsAndCovers) {
+  auto t = MakeTable();
+  const PrivateScan ref = RunPrivate(*t);
+
+  SharedScanRegistry reg;
+  SharedScanAttachment a;
+  Attach(&reg, *t, &a);
+
+  // A produces the first two morsels, then B joins the live pass at its
+  // frontier (circular attach).
+  WorkCounter a_wc;
+  ParallelMorsel m;
+  std::vector<std::vector<Rid>> a_morsels;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(a.Next(&m, &a_wc));
+    a_morsels.push_back(m.rids);
+  }
+
+  SharedScanAttachment b;
+  Attach(&reg, *t, &b);
+  EXPECT_TRUE(b.attached_existing());
+  EXPECT_TRUE(b.started_mid_pass())
+      << "a joiner of a live in-flight pass must start at the frontier";
+
+  std::vector<std::vector<Rid>> b_morsels;
+  const uint64_t b_work = Drain(&b, &b_morsels);
+  while (a.Next(&m, &a_wc)) a_morsels.push_back(m.rids);
+
+  // Both attachments cover the full scan — B in wrapped order — and each
+  // charges exactly what a private scan would have.
+  std::vector<Rid> expect = Flatten(ref.morsels);
+  std::vector<Rid> a_flat = Flatten(a_morsels);
+  std::vector<Rid> b_flat = Flatten(b_morsels);
+  EXPECT_EQ(a_flat, expect) << "creator's order must be plain scan order";
+  ASSERT_EQ(b_morsels.size(), ref.morsels.size());
+  EXPECT_NE(b_flat, expect) << "mid-pass joiner should consume wrapped";
+  std::sort(a_flat.begin(), a_flat.end());
+  std::sort(b_flat.begin(), b_flat.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(a_flat, expect);
+  EXPECT_EQ(b_flat, expect);
+  EXPECT_EQ(a_wc.total(), ref.work);
+  EXPECT_EQ(b_work, ref.work);
+  // The scan was produced physically once, cooperatively.
+  EXPECT_EQ(a.produced() + b.produced(), ref.morsels.size());
+}
+
+TEST(SharedScanTest, WarmAttachmentReplaysRetainedPassWithoutProducing) {
+  auto t = MakeTable();
+  const PrivateScan ref = RunPrivate(*t);
+
+  SharedScanRegistry reg;
+  {
+    SharedScanAttachment a;
+    Attach(&reg, *t, &a);
+    std::vector<std::vector<Rid>> tmp;
+    Drain(&a, &tmp);
+  }
+  // The completed pass is retained; a warm joiner replays it front to back
+  // and performs no physical scan at all (passes-saved accounting keys off
+  // covered() && produced() == 0).
+  SharedScanAttachment warm;
+  Attach(&reg, *t, &warm);
+  EXPECT_TRUE(warm.attached_existing());
+  EXPECT_FALSE(warm.started_mid_pass());
+
+  std::vector<std::vector<Rid>> got;
+  const uint64_t work = Drain(&warm, &got);
+  EXPECT_EQ(got, ref.morsels);
+  EXPECT_EQ(work, ref.work);
+  EXPECT_EQ(warm.produced(), 0u);
+  EXPECT_TRUE(warm.covered());
+  EXPECT_EQ(reg.num_passes(), 1u);
+}
+
+TEST(SharedScanTest, StalledPassIsJoinedAtMorselZero) {
+  auto t = MakeTable();
+  const PrivateScan ref = RunPrivate(*t);
+
+  SharedScanRegistry reg;
+  {
+    // A produces two morsels and detaches without covering — the pass is
+    // now stalled: incomplete, with nobody driving it forward.
+    SharedScanAttachment a;
+    Attach(&reg, *t, &a);
+    WorkCounter wc;
+    ParallelMorsel m;
+    ASSERT_TRUE(a.Next(&m, &wc));
+    ASSERT_TRUE(a.Next(&m, &wc));
+  }
+  // The next joiner must start at morsel 0 (plain scan order, demotion
+  // safe), replaying the stalled prefix and producing the rest itself.
+  SharedScanAttachment b;
+  Attach(&reg, *t, &b);
+  EXPECT_TRUE(b.attached_existing());
+  EXPECT_FALSE(b.started_mid_pass())
+      << "a stalled pass has no momentum to ride — join at 0";
+
+  std::vector<std::vector<Rid>> got;
+  const uint64_t work = Drain(&b, &got);
+  EXPECT_EQ(got, ref.morsels) << "stalled-pass replay must be in scan order";
+  EXPECT_EQ(work, ref.work);
+  EXPECT_EQ(b.produced(), ref.morsels.size() - 2);
+}
+
+TEST(SharedScanTest, DistinctSignaturesGetDistinctPasses) {
+  auto t = MakeTable();
+  SharedScanRegistry reg;
+  SharedScanAttachment a, b;
+  reg.AttachOrCreate(
+      "sig-a", [&] { return std::make_unique<TableScanCursor>(t.get()); },
+      kMorsel, false, &a);
+  reg.AttachOrCreate(
+      "sig-b", [&] { return std::make_unique<TableScanCursor>(t.get()); },
+      kMorsel, false, &b);
+  EXPECT_FALSE(b.attached_existing());
+  EXPECT_EQ(reg.num_passes(), 2u);
+}
+
+}  // namespace
+}  // namespace ajr

@@ -311,6 +311,43 @@ TEST(ArtIndexTest, BtreeProbeHintedMatchesFreshToo) {
   }
 }
 
+TEST(ArtIndexTest, Node16LowerBoundSimdMatchesScalarExhaustively) {
+  // The SIMD Node16 key search must agree with the scalar reference on
+  // every (sorted key set, probe byte) pair: random ascending unique key
+  // sets at every count 0..16, crossed with all 256 probe bytes. The tail
+  // of the 16-byte buffer is filled with adversarial garbage (0x00 / 0xFF /
+  // random) to prove the count mask really excludes unused lanes.
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t count = static_cast<uint32_t>(rng.NextInt64(0, 16));
+    bool distinct[256] = {};
+    uint32_t n = 0;
+    while (n < count) {
+      uint8_t k = static_cast<uint8_t>(rng.NextInt64(0, 255));
+      if (!distinct[k]) {
+        distinct[k] = true;
+        ++n;
+      }
+    }
+    uint8_t keys[16];
+    uint32_t pos = 0;
+    for (int k = 0; k < 256; ++k) {
+      if (distinct[k]) keys[pos++] = static_cast<uint8_t>(k);
+    }
+    for (uint32_t i = count; i < 16; ++i) {
+      int64_t roll = rng.NextInt64(0, 2);
+      keys[i] = roll == 0 ? 0x00 : roll == 1 ? 0xFF
+                : static_cast<uint8_t>(rng.NextInt64(0, 255));
+    }
+    for (int b = 0; b <= 255; ++b) {
+      uint8_t probe = static_cast<uint8_t>(b);
+      ASSERT_EQ(ArtIndex::Node16LowerBound(keys, count, probe),
+                ArtIndex::Node16LowerBoundScalar(keys, count, probe))
+          << "count " << count << " byte " << b;
+    }
+  }
+}
+
 TEST(ArtIndexTest, CapabilityGates) {
   BPlusTree tree(DataType::kInt64);
   auto art = ArtIndex::BuildFromTree(tree);
